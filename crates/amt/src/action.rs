@@ -1,0 +1,114 @@
+//! The action registry: named functions invocable across localities.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use simcore::{Sim, SimTime};
+
+use crate::locality::Locality;
+use crate::parcel::Parcel;
+
+/// Identifier of a registered action (stable across localities as long as
+/// registration order matches, as in SPMD HPX programs).
+pub type ActionId = u32;
+
+/// An action body. Runs on a worker core of the destination locality;
+/// returns the virtual time at which the core is done (actions charge
+/// their own compute costs).
+pub type ActionFn = Rc<dyn Fn(&mut Sim, &Rc<Locality>, usize, Parcel) -> SimTime>;
+
+/// Registry mapping action ids/names to handlers. Each locality holds a
+/// clone (registration must be replicated identically, mirroring HPX's
+/// requirement that actions be registered on every locality).
+#[derive(Clone, Default)]
+pub struct ActionRegistry {
+    by_name: HashMap<String, ActionId>,
+    handlers: Vec<(String, ActionFn)>,
+}
+
+impl ActionRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `f` under `name`; returns its id. Panics on duplicates —
+    /// double registration is a program bug.
+    pub fn register<F>(&mut self, name: &str, f: F) -> ActionId
+    where
+        F: Fn(&mut Sim, &Rc<Locality>, usize, Parcel) -> SimTime + 'static,
+    {
+        assert!(!self.by_name.contains_key(name), "action {name:?} registered twice");
+        let id = self.handlers.len() as ActionId;
+        self.by_name.insert(name.to_string(), id);
+        self.handlers.push((name.to_string(), Rc::new(f)));
+        id
+    }
+
+    /// Look up an action id by name.
+    pub fn id_of(&self, name: &str) -> Option<ActionId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Name of an action.
+    pub fn name_of(&self, id: ActionId) -> &str {
+        &self.handlers[id as usize].0
+    }
+
+    /// Fetch the handler for `id`. Panics on unknown ids (a parcel for an
+    /// unregistered action is a protocol violation).
+    pub fn handler(&self, id: ActionId) -> ActionFn {
+        self.handlers
+            .get(id as usize)
+            .unwrap_or_else(|| panic!("no action registered with id {id}"))
+            .1
+            .clone()
+    }
+
+    /// Number of registered actions.
+    pub fn len(&self) -> usize {
+        self.handlers.len()
+    }
+
+    /// Whether no actions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.handlers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop() -> impl Fn(&mut Sim, &Rc<Locality>, usize, Parcel) -> SimTime + 'static {
+        |sim, _loc, _core, _p| sim.now()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = ActionRegistry::new();
+        let a = r.register("ping", noop());
+        let b = r.register("pong", noop());
+        assert_ne!(a, b);
+        assert_eq!(r.id_of("ping"), Some(a));
+        assert_eq!(r.id_of("nope"), None);
+        assert_eq!(r.name_of(b), "pong");
+        assert_eq!(r.len(), 2);
+        let _h = r.handler(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut r = ActionRegistry::new();
+        r.register("x", noop());
+        r.register("x", noop());
+    }
+
+    #[test]
+    #[should_panic(expected = "no action registered")]
+    fn unknown_handler_panics() {
+        let r = ActionRegistry::new();
+        r.handler(4);
+    }
+}

@@ -1,0 +1,212 @@
+//! Minimal binary codec used for HPX-message framing and action arguments.
+//!
+//! Hand-written (rather than pulling in a serde format) because the byte
+//! layout of the HPX message — non-zero-copy chunk, zero-copy chunks,
+//! transmission chunk — is itself the object of study in the paper; we
+//! want the chunk boundaries under our explicit control.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Streaming writer over a growable buffer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: BytesMut,
+}
+
+impl Writer {
+    /// Create an empty writer.
+    pub fn new() -> Self {
+        Writer { buf: BytesMut::new() }
+    }
+
+    /// Create a writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Append a `u8`.
+    pub fn put_u8(&mut self, x: u8) {
+        self.buf.put_u8(x);
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, x: u32) {
+        self.buf.put_u32_le(x);
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, x: u64) {
+        self.buf.put_u64_le(x);
+    }
+
+    /// Append a little-endian `f64`.
+    pub fn put_f64(&mut self, x: f64) {
+        self.buf.put_f64_le(x);
+    }
+
+    /// Append raw bytes with a `u32` length prefix.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(u32::try_from(b.len()).expect("chunk too large"));
+        self.buf.put_slice(b);
+    }
+
+    /// Append raw bytes with no length prefix.
+    pub fn put_raw(&mut self, b: &[u8]) {
+        self.buf.put_slice(b);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish, yielding an immutable buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Cursor-based reader over a byte slice; panics on truncation (framing
+/// errors are programming bugs in this closed system, not external input).
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> &'a [u8] {
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn get_u32(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn get_u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Read a little-endian `f64`.
+    pub fn get_f64(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    /// Read a `u32`-length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> &'a [u8] {
+        let n = self.get_u32() as usize;
+        self.take(n)
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor consumed everything.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f64(1.5);
+        let b = w.finish();
+        let mut r = Reader::new(&b);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), u64::MAX - 3);
+        assert_eq!(r.get_f64(), 1.5);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let mut w = Writer::with_capacity(64);
+        w.put_bytes(b"hello");
+        w.put_bytes(b"");
+        w.put_raw(b"xyz");
+        let b = w.finish();
+        let mut r = Reader::new(&b);
+        assert_eq!(r.get_bytes(), b"hello");
+        assert_eq!(r.get_bytes(), b"");
+        assert_eq!(r.remaining(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn truncated_read_panics() {
+        let mut r = Reader::new(&[1, 2]);
+        r.get_u32();
+    }
+
+    #[cfg(test)]
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn any_u64_roundtrips(x: u64) {
+                let mut w = Writer::new();
+                w.put_u64(x);
+                let b = w.finish();
+                prop_assert_eq!(Reader::new(&b).get_u64(), x);
+            }
+
+            #[test]
+            fn any_byte_string_roundtrips(v: Vec<u8>) {
+                let mut w = Writer::new();
+                w.put_bytes(&v);
+                let b = w.finish();
+                let mut r = Reader::new(&b);
+                prop_assert_eq!(r.get_bytes(), &v[..]);
+                prop_assert!(r.is_exhausted());
+            }
+
+            #[test]
+            fn mixed_sequences_roundtrip(items: Vec<(u32, Vec<u8>)>) {
+                let mut w = Writer::new();
+                for (x, v) in &items {
+                    w.put_u32(*x);
+                    w.put_bytes(v);
+                }
+                let b = w.finish();
+                let mut r = Reader::new(&b);
+                for (x, v) in &items {
+                    prop_assert_eq!(r.get_u32(), *x);
+                    prop_assert_eq!(r.get_bytes(), &v[..]);
+                }
+                prop_assert!(r.is_exhausted());
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Parcels: the unit of remote action invocation.
+
+use bytes::Bytes;
+
+use crate::action::ActionId;
+
+/// A parcel: "the collection of arguments to invoke an action, provided by
+/// the source locality, along with some metadata of the action invoked"
+/// (§2.2). Argument blobs are already encoded by the caller; blobs at or
+/// above the zero-copy serialization threshold become zero-copy chunks of
+/// the HPX message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parcel {
+    /// The action to invoke at the destination.
+    pub action: ActionId,
+    /// Encoded argument blobs.
+    pub args: Vec<Bytes>,
+}
+
+impl Parcel {
+    /// Build a parcel.
+    pub fn new(action: ActionId, args: Vec<Bytes>) -> Self {
+        Parcel { action, args }
+    }
+
+    /// Build an argument-less parcel.
+    pub fn empty(action: ActionId) -> Self {
+        Parcel { action, args: Vec::new() }
+    }
+
+    /// Total payload bytes across all arguments.
+    pub fn payload_bytes(&self) -> usize {
+        self.args.iter().map(|a| a.len()).sum()
+    }
+
+    /// Bytes that will serialize into the non-zero-copy chunk given the
+    /// zero-copy `threshold` (arguments strictly below it).
+    pub fn small_bytes(&self, threshold: usize) -> usize {
+        self.args.iter().map(|a| a.len()).filter(|&l| l < threshold).sum()
+    }
+
+    /// Arguments that become zero-copy chunks (length >= `threshold`).
+    pub fn zero_copy_args(&self, threshold: usize) -> impl Iterator<Item = &Bytes> {
+        self.args.iter().filter(move |a| a.len() >= threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_accounting() {
+        let p = Parcel::new(
+            3,
+            vec![Bytes::from(vec![0u8; 10]), Bytes::from(vec![0u8; 100]), Bytes::from(vec![0u8; 5])],
+        );
+        assert_eq!(p.payload_bytes(), 115);
+        assert_eq!(p.small_bytes(50), 15);
+        assert_eq!(p.zero_copy_args(50).count(), 1);
+        assert_eq!(p.zero_copy_args(5).count(), 3);
+        assert_eq!(p.zero_copy_args(1000).count(), 0);
+    }
+
+    #[test]
+    fn empty_parcel() {
+        let p = Parcel::empty(9);
+        assert_eq!(p.action, 9);
+        assert_eq!(p.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn threshold_boundary_is_inclusive_for_zero_copy() {
+        let p = Parcel::new(0, vec![Bytes::from(vec![0u8; 64])]);
+        // Exactly at threshold => zero-copy (HPX: >= threshold).
+        assert_eq!(p.zero_copy_args(64).count(), 1);
+        assert_eq!(p.small_bytes(64), 0);
+        assert_eq!(p.zero_copy_args(65).count(), 0);
+    }
+}

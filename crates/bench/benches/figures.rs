@@ -1,0 +1,71 @@
+//! Criterion wrappers around one representative point of each paper
+//! experiment, so `cargo bench` exercises the full virtual pipeline and
+//! tracks regressions in simulator throughput.
+//!
+//! The complete figures (full injection grids, all variants) are the
+//! binaries in `src/bin/`; these benches use reduced message counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{run_latency, run_msgrate, LatencyParams, MsgRateParams};
+use octotiger_mini::{run_octotiger, OctoParams};
+
+fn bench_msgrate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("msgrate");
+    g.sample_size(10);
+    for cfg in ["lci_psr_cq_pin_i", "mpi_i"] {
+        g.bench_function(format!("8B/{cfg}"), |b| {
+            b.iter(|| {
+                let mut p = MsgRateParams::small(cfg.parse().unwrap());
+                p.total_msgs = 5_000;
+                p.cores = 16;
+                run_msgrate(&p).msg_rate
+            })
+        });
+        g.bench_function(format!("16K/{cfg}"), |b| {
+            b.iter(|| {
+                let mut p = MsgRateParams::large(cfg.parse().unwrap());
+                p.total_msgs = 1_000;
+                p.cores = 16;
+                run_msgrate(&p).msg_rate
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut g = c.benchmark_group("latency");
+    g.sample_size(10);
+    for cfg in ["lci_psr_cq_pin_i", "mpi_i"] {
+        g.bench_function(format!("8B-w1/{cfg}"), |b| {
+            b.iter(|| {
+                let mut p = LatencyParams::new(cfg.parse().unwrap(), 8);
+                p.steps = 100;
+                p.cores = 16;
+                run_latency(&p).one_way_us
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_octotiger(c: &mut Criterion) {
+    let mut g = c.benchmark_group("octotiger");
+    g.sample_size(10);
+    for cfg in ["lci_psr_cq_pin_i", "mpi_i"] {
+        g.bench_function(format!("level3-4loc/{cfg}"), |b| {
+            b.iter(|| {
+                let mut p = OctoParams::expanse(cfg.parse().unwrap(), 4);
+                p.level = 3;
+                p.steps = 2;
+                p.cores = 8;
+                run_octotiger(&p).steps_per_sec
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_msgrate, bench_latency, bench_octotiger);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Calibration snapshot: the shape-defining numbers at reduced scale.
+//!
+//! Prints peak message rates (8 B and 16 KiB) and small/large latencies
+//! for the key configurations, with the paper's expectations alongside,
+//! so the cost model can be tuned quickly. Use `BENCH_SCALE` to shrink.
+
+use bench::{bench_scale, run_latency, run_msgrate, LatencyParams, MsgRateParams};
+use bench::report::{fmt_kps, fmt_us, Table};
+
+fn main() {
+    let scale = bench_scale();
+    let configs = [
+        "lci_psr_cq_pin_i",
+        "lci_psr_cq_mt_i",
+        "lci_sr_cq_pin_i",
+        "lci_psr_sy_pin_i",
+        "lci_sr_sy_mt_i",
+        "lci_psr_cq_pin",
+        "mpi",
+        "mpi_i",
+    ];
+
+    let mut t = Table::new(vec!["config", "8B K/s", "16K K/s", "lat8B us", "lat64K us"]);
+    for name in configs {
+        let cfg = name.parse().unwrap();
+        let mut p = MsgRateParams::small(cfg);
+        p.total_msgs = (50_000_f64 * scale) as usize;
+        let small = run_msgrate(&p);
+        if std::env::var("CAL_STATS").as_deref() == Ok(name) {
+            eprintln!("--- stats for {name} (8B run) ---\n{:?}", small);
+        }
+
+        let mut p = MsgRateParams::large(cfg);
+        p.total_msgs = (10_000_f64 * scale) as usize;
+        let large = run_msgrate(&p);
+
+        let mut lp = LatencyParams::new(cfg, 8);
+        lp.steps = (300_f64 * scale) as usize;
+        let lat8 = run_latency(&lp);
+        let mut lp = LatencyParams::new(cfg, 64 * 1024);
+        lp.steps = (300_f64 * scale) as usize;
+        let lat64 = run_latency(&lp);
+
+        t.row(vec![
+            name.to_string(),
+            format!("{}{}", fmt_kps(small.msg_rate), if small.completed { "" } else { "*" }),
+            format!("{}{}", fmt_kps(large.msg_rate), if large.completed { "" } else { "*" }),
+            fmt_us(lat8.one_way_us),
+            fmt_us(lat64.one_way_us),
+        ]);
+    }
+    t.print();
+    println!();
+    println!("paper expectations (Expanse): lci_psr_cq_pin_i 8B ~750K/s;");
+    println!("  mt_i variants ~285K/s (2.6x down); sr_cq_pin_i ~215K/s (3.5x down);");
+    println!("  16K: cq_pin ~200K/s, sy ~25-30% below cq, mpi ~7-50x below lci;");
+    println!("  lat 8B: lci ~2-3us, mpi_i ~1.3x worse; lat 64K: mpi_i 3-5x worse.");
+    println!("  (* = run hit the safety deadline before completing)");
+}

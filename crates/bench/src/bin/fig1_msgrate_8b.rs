@@ -1,0 +1,43 @@
+//! Figure 1: achieved message rate of 8 B messages vs. injection rate —
+//! MPI vs. LCI with/without the send-immediate optimization.
+//!
+//! Paper shape: every configuration first tracks the attempted injection
+//! rate, then plateaus — except `mpi`, whose achieved rate rises and then
+//! *falls* under pressure; `lci_psr_cq_pin_i` plateaus highest.
+
+use bench::report::{fmt_kps, Table};
+use bench::{bench_scale, injection_grid_8b, sweep_injection, MsgRateParams};
+
+fn main() {
+    let scale = bench_scale();
+    let configs = ["lci_psr_cq_pin", "lci_psr_cq_pin_i", "mpi", "mpi_i"];
+    println!("Figure 1: achieved message rate (K/s), 8B messages, batch 100");
+    println!("(rows: attempted injection rate; columns: achieved injection / message rate)");
+    println!();
+    let mut header = vec!["attempted".to_string()];
+    for c in configs {
+        header.push(format!("{c} inj"));
+        header.push(format!("{c} rate"));
+    }
+    let mut t = Table::new(header);
+    let grid = injection_grid_8b();
+    let mut sweeps = Vec::new();
+    for c in configs {
+        let mut p = MsgRateParams::small(c.parse().unwrap());
+        p.total_msgs = (100_000f64 * scale) as usize;
+        sweeps.push(sweep_injection(&p, &grid));
+    }
+    for (i, &rate) in grid.iter().enumerate() {
+        let mut row = vec![bench::fmt_rate(rate)];
+        for s in &sweeps {
+            let r = &s[i].1;
+            row.push(fmt_kps(r.achieved_injection_rate));
+            row.push(format!("{}{}", fmt_kps(r.msg_rate), if r.completed { "" } else { "*" }));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!();
+    println!("paper: all plateau except mpi (rises then falls); lci_psr_cq_pin_i peaks ~750K/s,");
+    println!("lci_psr_cq_pin and mpi ~400-420K/s, mpi_i ~490K/s. (* = hit safety deadline)");
+}

@@ -1,0 +1,47 @@
+//! Figure 2: achieved message rate of 8 B messages vs. injection rate —
+//! the eight LCI variants (with send-immediate).
+//!
+//! Paper shape: all `mt_i` variants stick at a common low plateau
+//! (progress-engine contention, ~285 K/s); `sr` trails `psr` by up to
+//! 3.5x; a dedicated progress thread buys up to 2.6x.
+
+use bench::report::{fmt_kps, Table};
+use bench::{bench_scale, injection_grid_8b, sweep_injection, MsgRateParams};
+
+fn main() {
+    let scale = bench_scale();
+    let configs = [
+        "lci_psr_cq_pin_i",
+        "lci_psr_cq_mt_i",
+        "lci_psr_sy_pin_i",
+        "lci_psr_sy_mt_i",
+        "lci_sr_cq_pin_i",
+        "lci_sr_cq_mt_i",
+        "lci_sr_sy_pin_i",
+        "lci_sr_sy_mt_i",
+    ];
+    println!("Figure 2: achieved message rate (K/s), 8B, LCI variants (send-immediate)");
+    println!();
+    let mut header = vec!["attempted".to_string()];
+    header.extend(configs.iter().map(|c| c.to_string()));
+    let mut t = Table::new(header);
+    let grid = injection_grid_8b();
+    let mut sweeps = Vec::new();
+    for c in configs {
+        let mut p = MsgRateParams::small(c.parse().unwrap());
+        p.total_msgs = (100_000f64 * scale) as usize;
+        sweeps.push(sweep_injection(&p, &grid));
+    }
+    for (i, &rate) in grid.iter().enumerate() {
+        let mut row = vec![bench::fmt_rate(rate)];
+        for s in &sweeps {
+            let r = &s[i].1;
+            row.push(format!("{}{}", fmt_kps(r.msg_rate), if r.completed { "" } else { "*" }));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!();
+    println!("paper: psr_cq_pin_i highest (~750K/s); all mt_i variants stuck at a common");
+    println!("plateau (~285K/s); sr variants up to 3.5x below psr.");
+}

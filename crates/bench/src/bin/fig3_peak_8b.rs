@@ -1,0 +1,27 @@
+//! Figure 3: highest achieved 8 B message rate across all injection rates
+//! (the bar chart summarizing Figs. 1 and 2).
+
+use bench::report::{fmt_kps, Table};
+use bench::{bench_scale, injection_grid_8b, sweep_injection, MsgRateParams};
+use parcelport::PpConfig;
+
+fn main() {
+    let scale = bench_scale();
+    println!("Figure 3: peak 8B message rate across injection rates (K/s)");
+    println!();
+    let mut t = Table::new(vec!["config", "peak K/s"]);
+    for cfg in PpConfig::paper_set() {
+        let mut p = MsgRateParams::small(cfg);
+        p.total_msgs = (100_000f64 * scale) as usize;
+        let sweep = sweep_injection(&p, &injection_grid_8b());
+        let peak = sweep
+            .iter()
+            .map(|(_, r)| r.msg_rate)
+            .fold(0.0f64, f64::max);
+        t.row(vec![cfg.to_string(), fmt_kps(peak)]);
+    }
+    t.print();
+    println!();
+    println!("paper: lci_psr_cq_pin_i ~750K; mt_i variants ~285K; sr_* 215-400K;");
+    println!("lci_psr_cq_pin ~420K; mpi ~410K; mpi_i ~490K.");
+}

@@ -1,0 +1,23 @@
+//! Figure 6: highest achieved 16 KiB message rate across injection rates.
+
+use bench::report::{fmt_kps, Table};
+use bench::{bench_scale, injection_grid_16k, sweep_injection, MsgRateParams};
+use parcelport::PpConfig;
+
+fn main() {
+    let scale = bench_scale();
+    println!("Figure 6: peak 16KiB message rate across injection rates (K/s)");
+    println!();
+    let mut t = Table::new(vec!["config", "peak K/s"]);
+    for cfg in PpConfig::paper_set() {
+        let mut p = MsgRateParams::large(cfg);
+        p.total_msgs = (20_000f64 * scale) as usize;
+        let sweep = sweep_injection(&p, &injection_grid_16k());
+        let peak = sweep.iter().map(|(_, r)| r.msg_rate).fold(0.0f64, f64::max);
+        t.row(vec![cfg.to_string(), fmt_kps(peak)]);
+    }
+    t.print();
+    println!();
+    println!("paper: cq_pin ~200K; sy 25-30% below cq; pin 17-50% above mt;");
+    println!("non-immediate ~40-50K; mpi ~48K peak.");
+}

@@ -1,0 +1,35 @@
+//! Figure 8: 8 B message latency vs. window size (1-64 concurrent
+//! ping-pong chains).
+//!
+//! Paper shape: latency grows with window everywhere; `mpi_i` starts much
+//! better than `mpi` but crosses over around window 8;
+//! `lci_psr_cq_pin_i` is best at almost every window.
+
+use bench::report::{fmt_us, Table};
+use bench::{bench_scale, run_latency, LatencyParams};
+use parcelport::PpConfig;
+
+fn main() {
+    let scale = bench_scale();
+    let windows = [1usize, 2, 4, 8, 16, 32, 64];
+    println!("Figure 8: one-way latency (us) of 8B messages vs window size");
+    println!();
+    let mut header = vec!["config".to_string()];
+    header.extend(windows.iter().map(|w| format!("w{w}")));
+    let mut t = Table::new(header);
+    for cfg in PpConfig::paper_set() {
+        let mut row = vec![cfg.to_string()];
+        for &w in &windows {
+            let mut p = LatencyParams::new(cfg, 8);
+            p.window = w;
+            p.steps = ((400f64 * scale) as usize).max(40);
+            let r = run_latency(&p);
+            row.push(format!("{}{}", fmt_us(r.one_way_us), if r.completed { "" } else { "*" }));
+        }
+        t.row(row);
+    }
+    t.print();
+    println!();
+    println!("paper: latency increases with window; mpi_i beats mpi at small windows but");
+    println!("crosses over near window 8; lci_psr_cq_pin_i best almost everywhere.");
+}

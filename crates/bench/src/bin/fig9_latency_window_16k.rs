@@ -1,0 +1,46 @@
+//! Figure 9: 16 KiB message latency vs. window size.
+//!
+//! Paper shape: the MPI-LCI gap widens with the window — the
+//! mpi_i / lci_psr_cq_pin_i latency ratio grows from ~2x at window 1 to
+//! ~9.6x at window 64 (MPI struggles with many concurrent messages).
+
+use bench::report::{fmt_us, Table};
+use bench::{bench_scale, run_latency, LatencyParams};
+use parcelport::PpConfig;
+
+fn main() {
+    let scale = bench_scale();
+    let windows = [1usize, 2, 4, 8, 16, 32, 64];
+    println!("Figure 9: one-way latency (us) of 16KiB messages vs window size");
+    println!();
+    let mut header = vec!["config".to_string()];
+    header.extend(windows.iter().map(|w| format!("w{w}")));
+    let mut t = Table::new(header);
+    let mut ratio_row: Vec<(f64, f64)> = vec![(0.0, 0.0); windows.len()];
+    for cfg in PpConfig::paper_set() {
+        let name = cfg.to_string();
+        let mut row = vec![name.clone()];
+        for (i, &w) in windows.iter().enumerate() {
+            let mut p = LatencyParams::new(cfg, 16 * 1024);
+            p.window = w;
+            p.steps = ((300f64 * scale) as usize).max(30);
+            let r = run_latency(&p);
+            if name == "mpi_i" {
+                ratio_row[i].0 = r.one_way_us;
+            }
+            if name == "lci_psr_cq_pin_i" {
+                ratio_row[i].1 = r.one_way_us;
+            }
+            row.push(format!("{}{}", fmt_us(r.one_way_us), if r.completed { "" } else { "*" }));
+        }
+        t.row(row);
+    }
+    let mut ratio = vec!["mpi_i/lci_psr_cq_pin_i".to_string()];
+    for (m, l) in &ratio_row {
+        ratio.push(format!("{:.2}x", m / l.max(1e-9)));
+    }
+    t.row(ratio);
+    t.print();
+    println!();
+    println!("paper: the mpi_i : lci_psr_cq_pin_i ratio grows from ~2x (w1) to ~9.6x (w64).");
+}

@@ -1,0 +1,32 @@
+//! Tables 2 and 3: the two evaluation platforms and how this
+//! reproduction models them.
+
+use bench::report::Table;
+use netsim::WireModel;
+
+fn main() {
+    println!("Tables 2 & 3: platform configurations (paper) -> wire models (this repo)");
+    println!();
+    let mut t = Table::new(vec!["parameter", "SDSC Expanse (T2)", "Rostam (T3)"]);
+    t.row(vec!["CPU", "2x AMD EPYC 7742 (128 cores)", "2x Xeon Gold 6148 (40 cores)"]);
+    t.row(vec!["NIC", "Mellanox ConnectX-6", "Mellanox ConnectX-3"]);
+    t.row(vec!["Interconnect", "HDR InfiniBand (2x50Gbps)", "FDR InfiniBand (4x14Gbps)"]);
+    t.row(vec!["Max nodes/job", "32", "16"]);
+    t.print();
+    println!();
+    let mut m = Table::new(vec!["model parameter", "expanse-hdr", "rostam-fdr"]);
+    let (e, r) = (WireModel::expanse(), WireModel::rostam());
+    m.row(vec!["latency (ns)".to_string(), e.latency_ns.to_string(), r.latency_ns.to_string()]);
+    m.row(vec![
+        "per-byte (milli-ns)".to_string(),
+        e.byte_ns_milli.to_string(),
+        r.byte_ns_milli.to_string(),
+    ]);
+    m.row(vec![
+        "msg gap (ns)".to_string(),
+        e.msg_gap_ns.to_string(),
+        r.msg_gap_ns.to_string(),
+    ]);
+    m.row(vec!["cores modeled".to_string(), "32 (128/4)".to_string(), "10 (40/4)".to_string()]);
+    m.print();
+}

@@ -1,0 +1,108 @@
+//! Generic experiment runner: one command to run any microbenchmark
+//! point or sweep without writing code.
+//!
+//! ```text
+//! sweep rate  --config lci_psr_cq_pin_i --size 8 --msgs 50000 [--rate 400000] [--cores 32] [--devices 1] [--wire expanse|rostam]
+//! sweep lat   --config mpi_i --size 16384 --window 8 --steps 300
+//! sweep octo  --config lci_psr_cq_pin_i --nodes 16 --level 5 --steps 5 [--wire expanse|rostam]
+//! ```
+
+use bench::{run_latency, run_msgrate, LatencyParams, MsgRateParams};
+use netsim::WireModel;
+use octotiger_mini::{run_octotiger, OctoParams};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  sweep rate --config <name> [--size N] [--msgs N] [--rate R] \
+         [--cores N] [--devices N] [--wire expanse|rostam]\n  sweep lat  --config <name> \
+         [--size N] [--window N] [--steps N] [--cores N]\n  sweep octo --config <name> \
+         [--nodes N] [--level N] [--steps N] [--cores N] [--wire expanse|rostam]"
+    );
+    std::process::exit(2);
+}
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0.iter().position(|a| a == key).and_then(|i| self.0.get(i + 1)).map(|s| s.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for {key}: {v}");
+                std::process::exit(2);
+            }),
+            None => default,
+        }
+    }
+
+    fn wire(&self) -> WireModel {
+        match self.get("--wire") {
+            Some("rostam") => WireModel::rostam(),
+            Some("ideal") => WireModel::ideal(),
+            _ => WireModel::expanse(),
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = argv.first().cloned() else { usage() };
+    let args = Args(argv);
+    let config = args.get("--config").unwrap_or("lci_psr_cq_pin_i");
+    let cfg = config.parse().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    match mode.as_str() {
+        "rate" => {
+            let mut p = MsgRateParams::small(cfg);
+            p.msg_size = args.num("--size", 8usize);
+            p.total_msgs = args.num("--msgs", 50_000usize);
+            p.batch = args.num("--batch", if p.msg_size > 4096 { 10 } else { 100 });
+            p.cores = args.num("--cores", 32usize);
+            p.devices = args.num("--devices", 1usize);
+            p.inject_rate = args.get("--rate").map(|r| r.parse().expect("rate"));
+            p.wire = args.wire();
+            let r = run_msgrate(&p);
+            println!(
+                "config={config} size={} msgs={} attempted={:?} achieved_injection={:.1}K/s \
+                 msg_rate={:.1}K/s completed={}",
+                p.msg_size,
+                p.total_msgs,
+                p.inject_rate,
+                r.achieved_injection_rate / 1e3,
+                r.msg_rate / 1e3,
+                r.completed
+            );
+        }
+        "lat" => {
+            let mut p = LatencyParams::new(cfg, args.num("--size", 8usize));
+            p.window = args.num("--window", 1usize);
+            p.steps = args.num("--steps", 500usize);
+            p.cores = args.num("--cores", 32usize);
+            p.wire = args.wire();
+            let r = run_latency(&p);
+            println!(
+                "config={config} size={} window={} one_way={:.2}us completed={}",
+                p.msg_size, p.window, r.one_way_us, r.completed
+            );
+        }
+        "octo" => {
+            let mut p = OctoParams::expanse(cfg, args.num("--nodes", 8usize));
+            p.level = args.num("--level", 5u32);
+            p.steps = args.num("--steps", 5u32);
+            p.cores = args.num("--cores", 32usize);
+            p.wire = args.wire();
+            let r = run_octotiger(&p);
+            println!(
+                "config={config} nodes={} level={} steps/s={:.3} leaves={} mass_ok={} completed={}",
+                p.localities, p.level, r.steps_per_sec, r.leaves, r.mass_ok, r.completed
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,98 @@
+//! Tabular output helpers: print figures as aligned text tables (the
+//! same rows/series the paper plots).
+
+/// A simple column-aligned table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Append a row (must match the header length).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a rate in K/s with sensible precision.
+pub fn fmt_kps(rate_per_sec: f64) -> String {
+    format!("{:.1}", rate_per_sec / 1e3)
+}
+
+/// Format a latency in microseconds.
+pub fn fmt_us(us: f64) -> String {
+    format!("{us:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["config", "rate"]);
+        t.row(vec!["mpi", "1.0"]);
+        t.row(vec!["lci_psr_cq_pin_i", "750.0"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("config"));
+        assert!(lines[3].contains("750.0"));
+        // All data lines are equally wide.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_kps(750_000.0), "750.0");
+        assert_eq!(fmt_us(3.456), "3.46");
+    }
+}

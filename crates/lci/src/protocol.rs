@@ -1,0 +1,128 @@
+//! Wire-protocol constants and in-flight operation state.
+
+use bytes::Bytes;
+use netsim::NodeId;
+
+use crate::comp::Comp;
+
+/// Wildcard source rank for receives (matches any sender).
+pub const ANY_SOURCE: NodeId = usize::MAX;
+
+/// Packet kinds used by the LCI device on the simulated wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum PacketKind {
+    /// Eager two-sided medium message; consumed by a matching receive.
+    Eager = 1,
+    /// Eager one-sided dynamic put; buffer allocated at target, entry
+    /// pushed to the target's pre-configured remote completion queue.
+    PutEager = 2,
+    /// Rendezvous request-to-send (two-sided long protocol).
+    Rts = 3,
+    /// Rendezvous ready-to-receive (carries the matched op id).
+    Rtr = 4,
+    /// Rendezvous payload (models the RDMA write + completion imm).
+    LongData = 5,
+    /// Rendezvous request-to-send for a long dynamic put.
+    PutRts = 6,
+    /// Rendezvous ready-to-receive for a long dynamic put.
+    PutRtr = 7,
+    /// Rendezvous payload for a long dynamic put.
+    PutLongData = 8,
+}
+
+impl PacketKind {
+    /// Decode from the wire byte; panics on garbage (the fabric is
+    /// reliable, so garbage means a programming error).
+    pub fn from_u8(x: u8) -> PacketKind {
+        match x {
+            1 => PacketKind::Eager,
+            2 => PacketKind::PutEager,
+            3 => PacketKind::Rts,
+            4 => PacketKind::Rtr,
+            5 => PacketKind::LongData,
+            6 => PacketKind::PutRts,
+            7 => PacketKind::PutRtr,
+            8 => PacketKind::PutLongData,
+            other => panic!("unknown LCI packet kind {other}"),
+        }
+    }
+}
+
+/// What kind of user-visible operation completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// A medium or long send completed locally.
+    Send,
+    /// A medium or long receive completed with data.
+    Recv,
+    /// A put completed locally (source side).
+    Put,
+    /// A put landed at the target (remote-completion entry).
+    PutTarget,
+}
+
+/// Sender-side state of an in-flight rendezvous send (two-sided long or
+/// long put), keyed by op id; kept until the RTR arrives.
+#[derive(Debug)]
+pub struct RdvSend {
+    /// Destination rank.
+    pub dst: NodeId,
+    /// User tag.
+    pub tag: u64,
+    /// Payload to transfer once the target is ready.
+    pub data: Bytes,
+    /// Completion to signal when the payload has been handed to the NIC.
+    pub comp: Comp,
+    /// User context propagated into the completion entry.
+    pub user: u64,
+    /// True when this is a one-sided long put (completion at the target
+    /// goes to the remote completion queue, not a matched receive).
+    pub one_sided: bool,
+}
+
+/// Receiver-side state of an in-flight rendezvous receive, keyed by op id;
+/// created when the RTS is matched, resolved when the payload arrives.
+#[derive(Debug)]
+pub struct RdvRecv {
+    /// Source rank.
+    pub src: NodeId,
+    /// User tag.
+    pub tag: u64,
+    /// Completion to signal when the payload lands.
+    pub comp: Comp,
+    /// User context propagated into the completion entry.
+    pub user: u64,
+    /// Expected payload size (from the RTS), for buffer allocation.
+    pub size: usize,
+    /// True when the payload should complete to the device's remote
+    /// completion queue (long dynamic put).
+    pub one_sided: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_kind_roundtrip() {
+        for k in [
+            PacketKind::Eager,
+            PacketKind::PutEager,
+            PacketKind::Rts,
+            PacketKind::Rtr,
+            PacketKind::LongData,
+            PacketKind::PutRts,
+            PacketKind::PutRtr,
+            PacketKind::PutLongData,
+        ] {
+            assert_eq!(PacketKind::from_u8(k as u8), k);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown LCI packet kind")]
+    fn garbage_kind_panics() {
+        PacketKind::from_u8(99);
+    }
+}

@@ -1,0 +1,111 @@
+//! Request objects: completion handles polled with `MPI_Test`.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use bytes::Bytes;
+use netsim::NodeId;
+
+/// Internal state of a request.
+#[derive(Debug)]
+pub struct RequestState {
+    /// True once the operation completed.
+    pub done: bool,
+    /// Received payload (receives only).
+    pub data: Bytes,
+    /// Actual source of the matched message (receives with wildcard).
+    pub src: NodeId,
+    /// Actual tag of the matched message.
+    pub tag: u64,
+}
+
+/// A nonblocking-operation handle, like an `MPI_Request`.
+///
+/// Cloneable; all clones observe the same completion.
+#[derive(Debug, Clone)]
+pub struct Request(Rc<RefCell<RequestState>>);
+
+impl Request {
+    /// Create a pending request.
+    pub fn pending() -> Self {
+        Request(Rc::new(RefCell::new(RequestState {
+            done: false,
+            data: Bytes::new(),
+            src: 0,
+            tag: 0,
+        })))
+    }
+
+    /// Create an already-completed request (eager sends).
+    pub fn completed() -> Self {
+        let r = Request::pending();
+        r.0.borrow_mut().done = true;
+        r
+    }
+
+    /// Whether the operation completed. This is a *pure state read*; the
+    /// MPI semantics of `MPI_Test` (which also drives progress) live in
+    /// [`crate::Comm::test`].
+    pub fn is_done(&self) -> bool {
+        self.0.borrow().done
+    }
+
+    /// Mark complete with receive metadata.
+    pub fn complete(&self, src: NodeId, tag: u64, data: Bytes) {
+        let mut s = self.0.borrow_mut();
+        debug_assert!(!s.done, "request completed twice");
+        s.done = true;
+        s.src = src;
+        s.tag = tag;
+        s.data = data;
+    }
+
+    /// Take the received payload (empties the request's buffer).
+    pub fn take_data(&self) -> Bytes {
+        std::mem::take(&mut self.0.borrow_mut().data)
+    }
+
+    /// Source of the matched message.
+    pub fn source(&self) -> NodeId {
+        self.0.borrow().src
+    }
+
+    /// Tag of the matched message.
+    pub fn tag(&self) -> u64 {
+        self.0.borrow().tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let r = Request::pending();
+        assert!(!r.is_done());
+        r.complete(3, 9, Bytes::from_static(b"zz"));
+        assert!(r.is_done());
+        assert_eq!(r.source(), 3);
+        assert_eq!(r.tag(), 9);
+        assert_eq!(r.take_data().as_ref(), b"zz");
+        assert!(r.take_data().is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let r = Request::pending();
+        let c = r.clone();
+        r.complete(0, 0, Bytes::new());
+        assert!(c.is_done());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "request completed twice")]
+    fn double_complete_panics_in_debug() {
+        let r = Request::pending();
+        r.complete(0, 0, Bytes::new());
+        r.complete(0, 0, Bytes::new());
+    }
+}

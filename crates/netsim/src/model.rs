@@ -1,0 +1,125 @@
+//! Wire/NIC performance models with presets for the paper's two platforms.
+
+/// LogGP-style parameters of a NIC + interconnect.
+///
+/// `byte_ns_milli` is in thousandths of a nanosecond per byte so that
+/// multi-GB/s links can be expressed without floating point on the hot
+/// path (100 Gb/s = 12.5 GB/s = 0.080 ns/B = 80 milli-ns/B).
+#[derive(Debug, Clone)]
+pub struct WireModel {
+    /// Human-readable name of the platform this models.
+    pub name: &'static str,
+    /// One-way propagation + switch latency, ns.
+    pub latency_ns: u64,
+    /// Wire serialization cost per byte, milli-ns.
+    pub byte_ns_milli: u64,
+    /// Minimum gap between message injections (1 / max message rate), ns.
+    pub msg_gap_ns: u64,
+    /// CPU cost of posting one descriptor to the NIC (doorbell etc.), ns.
+    pub post_ns: u64,
+    /// CPU cost of polling an empty hardware RX queue, ns.
+    pub rx_poll_ns: u64,
+    /// CPU cost of reaping one arrived packet from the RX queue, ns.
+    pub rx_reap_ns: u64,
+    /// Fixed per-packet wire framing overhead, bytes.
+    pub frame_bytes: usize,
+}
+
+impl WireModel {
+    /// SDSC Expanse: Mellanox ConnectX-6, HDR InfiniBand (2x50 Gb/s).
+    ///
+    /// ~1.0 us end-to-end small-message latency; the per-process TX context
+    /// sustains ~8 M msg/s before software overheads.
+    pub fn expanse() -> Self {
+        WireModel {
+            name: "expanse-hdr",
+            latency_ns: 1_000,
+            byte_ns_milli: 80, // 12.5 GB/s
+            msg_gap_ns: 125,   // ~8 M msg/s per context
+            post_ns: 80,
+            rx_poll_ns: 40,
+            rx_reap_ns: 70,
+            frame_bytes: 64,
+        }
+    }
+
+    /// LSU Rostam: Mellanox ConnectX-3, FDR InfiniBand (4x14 Gb/s).
+    ///
+    /// Older NIC generation: higher latency, lower bandwidth, lower
+    /// packet rate.
+    pub fn rostam() -> Self {
+        WireModel {
+            name: "rostam-fdr",
+            latency_ns: 1_700,
+            byte_ns_milli: 143, // ~7 GB/s
+            msg_gap_ns: 250,    // ~4 M msg/s per context
+            post_ns: 110,
+            rx_poll_ns: 55,
+            rx_reap_ns: 95,
+            frame_bytes: 64,
+        }
+    }
+
+    /// An idealized zero-latency infinite-rate wire, for unit tests that
+    /// want to observe pure software behaviour.
+    pub fn ideal() -> Self {
+        WireModel {
+            name: "ideal",
+            latency_ns: 0,
+            byte_ns_milli: 0,
+            msg_gap_ns: 0,
+            post_ns: 0,
+            rx_poll_ns: 0,
+            rx_reap_ns: 0,
+            frame_bytes: 0,
+        }
+    }
+
+    /// Wire serialization time of a `payload`-byte packet, ns.
+    #[inline]
+    pub fn wire_time(&self, payload: usize) -> u64 {
+        ((payload + self.frame_bytes) as u64 * self.byte_ns_milli) / 1000
+    }
+
+    /// Total NIC occupancy of one packet: injection gap + serialization.
+    #[inline]
+    pub fn injection_time(&self, payload: usize) -> u64 {
+        self.msg_gap_ns + self.wire_time(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expanse_is_faster_than_rostam() {
+        let e = WireModel::expanse();
+        let r = WireModel::rostam();
+        assert!(e.latency_ns < r.latency_ns);
+        assert!(e.byte_ns_milli < r.byte_ns_milli);
+        assert!(e.msg_gap_ns < r.msg_gap_ns);
+    }
+
+    #[test]
+    fn wire_time_scales_with_size() {
+        let e = WireModel::expanse();
+        // 16 KiB at 12.5 GB/s ≈ 1.31 us (plus framing).
+        let t = e.wire_time(16 * 1024);
+        assert!((1_300..1_400).contains(&t), "got {t}");
+        assert!(e.wire_time(8) < e.wire_time(4096));
+    }
+
+    #[test]
+    fn ideal_wire_is_free() {
+        let i = WireModel::ideal();
+        assert_eq!(i.injection_time(1_000_000), 0);
+        assert_eq!(i.latency_ns, 0);
+    }
+
+    #[test]
+    fn injection_includes_gap() {
+        let e = WireModel::expanse();
+        assert_eq!(e.injection_time(0), e.msg_gap_ns + e.wire_time(0));
+    }
+}

@@ -1,0 +1,75 @@
+//! Wire packets: what the simulated NIC actually carries.
+
+use bytes::Bytes;
+
+/// Index of a simulated node (one NIC per node).
+pub type NodeId = usize;
+
+/// One packet on the simulated wire.
+///
+/// The fabric does not interpret `kind`, `tag`, or `imm` — they are an
+/// upper-layer namespace (LCI and the MPI model each define their own
+/// packet kinds). `data` is reference-counted ([`Bytes`]) so "zero-copy"
+/// transfers really are zero-copy in host memory; the *modeled* copy costs
+/// are charged explicitly by the layers that perform copies.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Communication context (network endpoint) on both nodes. Context
+    /// `i` of the source talks to context `i` of the destination —
+    /// replicating contexts is the §7.2 remedy for single-context
+    /// contention.
+    pub ctx: u8,
+    /// Upper-layer packet discriminator (eager, RTS, RTR, payload, ...).
+    pub kind: u8,
+    /// Upper-layer tag.
+    pub tag: u64,
+    /// Immediate data carried in the packet header.
+    pub imm: u64,
+    /// Payload.
+    pub data: Bytes,
+}
+
+impl Packet {
+    /// Construct a packet with empty payload.
+    pub fn control(src: NodeId, dst: NodeId, kind: u8, tag: u64, imm: u64) -> Self {
+        Packet { src, dst, ctx: 0, kind, tag, imm, data: Bytes::new() }
+    }
+
+    /// Payload length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the payload is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_packets_are_empty() {
+        let p = Packet::control(0, 1, 3, 42, 7);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!((p.src, p.dst, p.kind, p.tag, p.imm), (0, 1, 3, 42, 7));
+    }
+
+    #[test]
+    fn payload_clone_is_shallow() {
+        let data = Bytes::from(vec![0u8; 4096]);
+        let p = Packet { src: 0, dst: 1, ctx: 0, kind: 0, tag: 0, imm: 0, data: data.clone() };
+        let q = p.clone();
+        // Bytes clones share the same backing storage (zero-copy).
+        assert_eq!(q.data.as_ptr(), data.as_ptr());
+    }
+}

@@ -1,0 +1,165 @@
+//! Space-filling-curve partitioning of tree nodes onto localities.
+//!
+//! "Octo-Tiger uses space-filling curves to partition the tree nodes into
+//! processes" (§5). We order leaves by Morton key at their own level
+//! (depth-first curve order) and split into contiguous, equally-weighted
+//! chunks; internal nodes go where their first child lives, the root to
+//! locality 0.
+
+use crate::octree::{NodeId, Octree};
+
+/// Assignment of every tree node to a locality.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    owner: Vec<usize>,
+    localities: usize,
+}
+
+impl Partition {
+    /// Locality owning `node`.
+    pub fn owner(&self, node: NodeId) -> usize {
+        self.owner[node]
+    }
+
+    /// Number of localities partitioned over.
+    pub fn localities(&self) -> usize {
+        self.localities
+    }
+
+    /// Ids of nodes owned by `loc`.
+    pub fn nodes_of(&self, loc: usize) -> Vec<NodeId> {
+        (0..self.owner.len()).filter(|&n| self.owner[n] == loc).collect()
+    }
+}
+
+/// Sort key: depth-first position of a cell on the Morton curve.
+/// Padding the key to a fixed depth makes keys of different levels
+/// comparable (a parent sorts just before its first child).
+fn curve_key(tree: &Octree, id: NodeId, max_level: u32) -> u64 {
+    let n = tree.node(id);
+    n.morton << (3 * (max_level - n.level))
+}
+
+/// Partition the tree's leaves over `localities` by contiguous SFC chunks
+/// of (approximately) equal leaf count, then lift the assignment to
+/// internal nodes.
+pub fn partition(tree: &Octree, localities: usize) -> Partition {
+    assert!(localities >= 1);
+    let max_level = tree.nodes().iter().map(|n| n.level).max().unwrap_or(0);
+    let mut leaves: Vec<NodeId> = tree.leaves().to_vec();
+    leaves.sort_by_key(|&l| curve_key(tree, l, max_level));
+
+    let mut owner = vec![usize::MAX; tree.len()];
+    let per = leaves.len().div_ceil(localities).max(1);
+    for (i, &l) in leaves.iter().enumerate() {
+        owner[l] = (i / per).min(localities - 1);
+    }
+    // Internal nodes: owner of the first (curve-ordered) descendant leaf.
+    // Process bottom-up: by construction children have larger ids than
+    // parents, so a reverse sweep sees children first.
+    for id in (0..tree.len()).rev() {
+        if owner[id] == usize::MAX {
+            let first = tree
+                .node(id)
+                .children
+                .iter()
+                .map(|&c| owner[c])
+                .find(|&o| o != usize::MAX)
+                .expect("internal node with unassigned children");
+            owner[id] = first;
+        }
+    }
+    Partition { owner, localities }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::octree::Octree;
+
+    #[test]
+    fn every_node_assigned_in_range() {
+        let t = Octree::build(4);
+        let p = partition(&t, 5);
+        for id in 0..t.len() {
+            assert!(p.owner(id) < 5, "node {id} unassigned");
+        }
+    }
+
+    #[test]
+    fn single_locality_owns_everything() {
+        let t = Octree::build(3);
+        let p = partition(&t, 1);
+        assert!((0..t.len()).all(|n| p.owner(n) == 0));
+    }
+
+    #[test]
+    fn leaves_are_balanced() {
+        let t = Octree::build(4);
+        let k = 7;
+        let p = partition(&t, k);
+        let mut counts = vec![0usize; k];
+        for &l in t.leaves() {
+            counts[p.owner(l)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(min > 0, "some locality owns no leaves: {counts:?}");
+        assert!(max <= min * 2 + 8, "imbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn partition_covers_each_leaf_exactly_once() {
+        let t = Octree::build(4);
+        let k = 4;
+        let p = partition(&t, k);
+        let total: usize = (0..k).map(|loc| {
+            p.nodes_of(loc).iter().filter(|&&n| t.node(n).is_leaf()).count()
+        }).sum();
+        assert_eq!(total, t.leaves().len());
+    }
+
+    #[test]
+    fn sfc_chunks_are_contiguous_on_curve() {
+        let t = Octree::build(4);
+        let p = partition(&t, 6);
+        let max_level = t.nodes().iter().map(|n| n.level).max().unwrap();
+        let mut leaves: Vec<_> = t.leaves().to_vec();
+        leaves.sort_by_key(|&l| curve_key(&t, l, max_level));
+        let owners: Vec<usize> = leaves.iter().map(|&l| p.owner(l)).collect();
+        // Owner sequence along the curve must be non-decreasing.
+        assert!(owners.windows(2).all(|w| w[0] <= w[1]), "not contiguous: {owners:?}");
+    }
+
+    #[test]
+    fn root_belongs_to_locality_zero() {
+        let t = Octree::build(4);
+        let p = partition(&t, 8);
+        assert_eq!(p.owner(0), 0);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[test]
+            fn any_partition_is_total_and_balanced(
+                level in 1u32..4,
+                locs in 1usize..9,
+            ) {
+                let t = Octree::build(level);
+                let p = partition(&t, locs);
+                for id in 0..t.len() {
+                    prop_assert!(p.owner(id) < locs);
+                }
+                let mut counts = vec![0usize; locs];
+                for &l in t.leaves() {
+                    counts[p.owner(l)] += 1;
+                }
+                prop_assert_eq!(counts.iter().sum::<usize>(), t.leaves().len());
+            }
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Configuration naming scheme — Table 1 of the paper.
+//!
+//! | Abbreviation | Configuration |
+//! |---|---|
+//! | `mpi` | Use the MPI parcelport |
+//! | `lci` | Use the LCI parcelport |
+//! | `sr`  | Use the sendrecv protocol |
+//! | `psr` | Use the putsendrecv protocol |
+//! | `sy`  | Use synchronizer as the completion type |
+//! | `cq`  | Use completion queue as the completion type |
+//! | `pin` | Use a pinned dedicated progress thread |
+//! | `mt`  | Use all worker threads to make progress |
+//! | `i`   | Enable the send immediate optimization |
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which parcelport backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The MPI parcelport (improved version unless `original_mpi`).
+    Mpi,
+    /// The LCI parcelport.
+    Lci,
+    /// The original TCP parcelport (kernel-socket byte streams).
+    Tcp,
+}
+
+/// How the header message travels (LCI only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// One-sided dynamic put for the header, send/recv for the rest.
+    PutSendRecv,
+    /// Two-sided send/recv for everything (posted wildcard header recv).
+    SendRecv,
+}
+
+/// Completion mechanism for follow-up messages (LCI only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// Completion queues (the baseline).
+    Cq,
+    /// Synchronizers + pending list polled round-robin.
+    Sync,
+}
+
+/// Who calls the communication progress function (LCI only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// A dedicated progress thread pinned to core 0 by the resource
+    /// partitioner (`pin` / `rp`).
+    Pin,
+    /// All worker threads call progress when idle (`mt` / `worker`).
+    Worker,
+}
+
+/// A full parcelport configuration in the paper's naming scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PpConfig {
+    /// Backend selection.
+    pub backend: Backend,
+    /// Header protocol (LCI; the MPI parcelport is always send/recv).
+    pub protocol: Protocol,
+    /// Completion mechanism (LCI).
+    pub completion: Completion,
+    /// Progress model (LCI; the MPI parcelport always progresses from
+    /// worker threads, as in HPX).
+    pub progress: Progress,
+    /// The send-immediate optimization (bypass connection cache + parcel
+    /// queue). Applies to both backends.
+    pub send_immediate: bool,
+    /// Use the *original* (pre-improvement) MPI parcelport: fixed 512 B
+    /// header, no transmission-chunk piggyback, tag-release protocol.
+    pub original_mpi: bool,
+}
+
+impl PpConfig {
+    /// The paper's default/best LCI configuration: `lci_psr_cq_pin_i`.
+    pub fn lci_default() -> Self {
+        PpConfig {
+            backend: Backend::Lci,
+            protocol: Protocol::PutSendRecv,
+            completion: Completion::Cq,
+            progress: Progress::Pin,
+            send_immediate: true,
+            original_mpi: false,
+        }
+    }
+
+    /// `tcp` — the original kernel-socket parcelport.
+    pub fn tcp() -> Self {
+        PpConfig { backend: Backend::Tcp, ..PpConfig::mpi() }
+    }
+
+    /// `mpi` — the improved MPI parcelport without send-immediate.
+    pub fn mpi() -> Self {
+        PpConfig {
+            backend: Backend::Mpi,
+            protocol: Protocol::SendRecv,
+            completion: Completion::Sync,
+            progress: Progress::Worker,
+            send_immediate: false,
+            original_mpi: false,
+        }
+    }
+
+    /// `mpi_i` — the improved MPI parcelport with send-immediate.
+    pub fn mpi_i() -> Self {
+        PpConfig { send_immediate: true, ..PpConfig::mpi() }
+    }
+
+    /// The original (pre-project) MPI parcelport, for the §3.1 ablation.
+    pub fn mpi_original() -> Self {
+        PpConfig { original_mpi: true, ..PpConfig::mpi() }
+    }
+
+    /// All eight LCI variants with send-immediate plus `lci_psr_cq_pin`
+    /// (no `_i`) and the two MPI variants — the configurations plotted in
+    /// the paper's figures.
+    pub fn paper_set() -> Vec<PpConfig> {
+        let mut v = Vec::new();
+        v.push("lci_psr_cq_pin".parse().unwrap());
+        for proto in ["psr", "sr"] {
+            for comp in ["cq", "sy"] {
+                for prog in ["pin", "mt"] {
+                    v.push(format!("lci_{proto}_{comp}_{prog}_i").parse().unwrap());
+                }
+            }
+        }
+        v.push(PpConfig::mpi());
+        v.push(PpConfig::mpi_i());
+        v
+    }
+
+    /// Whether this configuration wants the runtime to dedicate core 0 to
+    /// progress.
+    pub fn dedicated_progress(&self) -> bool {
+        self.backend == Backend::Lci && self.progress == Progress::Pin
+    }
+}
+
+impl fmt::Display for PpConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.backend {
+            Backend::Tcp => write!(f, "tcp")?,
+            Backend::Mpi => {
+                if self.original_mpi {
+                    write!(f, "mpi_orig")?;
+                } else {
+                    write!(f, "mpi")?;
+                }
+            }
+            Backend::Lci => {
+                write!(
+                    f,
+                    "lci_{}_{}_{}",
+                    match self.protocol {
+                        Protocol::PutSendRecv => "psr",
+                        Protocol::SendRecv => "sr",
+                    },
+                    match self.completion {
+                        Completion::Cq => "cq",
+                        Completion::Sync => "sy",
+                    },
+                    match self.progress {
+                        Progress::Pin => "pin",
+                        Progress::Worker => "mt",
+                    }
+                )?;
+            }
+        }
+        if self.send_immediate {
+            write!(f, "_i")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from parsing a configuration name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bad parcelport config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl FromStr for PpConfig {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, ParseError> {
+        let mut parts: Vec<&str> = s.split('_').collect();
+        let send_immediate = parts.last() == Some(&"i");
+        if send_immediate {
+            parts.pop();
+        }
+        match parts.as_slice() {
+            ["tcp"] => Ok(PpConfig { send_immediate, ..PpConfig::tcp() }),
+            ["mpi"] => Ok(PpConfig { send_immediate, ..PpConfig::mpi() }),
+            ["mpi", "orig"] => Ok(PpConfig { send_immediate, ..PpConfig::mpi_original() }),
+            ["lci", proto, comp, prog] => {
+                let protocol = match *proto {
+                    "psr" => Protocol::PutSendRecv,
+                    "sr" => Protocol::SendRecv,
+                    _ => return Err(ParseError(s.into())),
+                };
+                let completion = match *comp {
+                    "cq" => Completion::Cq,
+                    "sy" => Completion::Sync,
+                    _ => return Err(ParseError(s.into())),
+                };
+                let progress = match *prog {
+                    "pin" | "rp" => Progress::Pin,
+                    "mt" | "worker" => Progress::Worker,
+                    _ => return Err(ParseError(s.into())),
+                };
+                Ok(PpConfig {
+                    backend: Backend::Lci,
+                    protocol,
+                    completion,
+                    progress,
+                    send_immediate,
+                    original_mpi: false,
+                })
+            }
+            _ => Err(ParseError(s.into())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_names() {
+        for name in [
+            "mpi",
+            "mpi_i",
+            "lci_psr_cq_pin",
+            "lci_psr_cq_pin_i",
+            "lci_psr_cq_mt_i",
+            "lci_psr_sy_pin_i",
+            "lci_psr_sy_mt_i",
+            "lci_sr_cq_pin_i",
+            "lci_sr_cq_mt_i",
+            "lci_sr_sy_pin_i",
+            "lci_sr_sy_mt_i",
+        ] {
+            let cfg: PpConfig = name.parse().unwrap();
+            assert_eq!(cfg.to_string(), name, "roundtrip of {name}");
+        }
+    }
+
+    #[test]
+    fn rp_is_an_alias_for_pin() {
+        let a: PpConfig = "lci_psr_cq_rp_i".parse().unwrap();
+        let b: PpConfig = "lci_psr_cq_pin_i".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_is_the_paper_baseline() {
+        let d = PpConfig::lci_default();
+        assert_eq!(d.to_string(), "lci_psr_cq_pin_i");
+        assert!(d.dedicated_progress());
+    }
+
+    #[test]
+    fn mpi_never_dedicates_progress() {
+        assert!(!PpConfig::mpi().dedicated_progress());
+        assert!(!PpConfig::mpi_i().dedicated_progress());
+    }
+
+    #[test]
+    fn paper_set_is_complete_and_unique() {
+        let set = PpConfig::paper_set();
+        assert_eq!(set.len(), 11);
+        let names: std::collections::HashSet<String> =
+            set.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names.len(), 11);
+        assert!(names.contains("lci_psr_cq_pin"));
+        assert!(names.contains("mpi"));
+        assert!(names.contains("mpi_i"));
+        assert!(names.contains("lci_sr_sy_mt_i"));
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!("udp".parse::<PpConfig>().is_err());
+        assert!("lci_xx_cq_pin".parse::<PpConfig>().is_err());
+        assert!("lci_psr".parse::<PpConfig>().is_err());
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let cfg: PpConfig = "tcp".parse().unwrap();
+        assert_eq!(cfg.backend, Backend::Tcp);
+        assert_eq!(cfg.to_string(), "tcp");
+        let cfg: PpConfig = "tcp_i".parse().unwrap();
+        assert!(cfg.send_immediate);
+        assert_eq!(cfg.to_string(), "tcp_i");
+        assert!(!cfg.dedicated_progress());
+    }
+
+    #[test]
+    fn original_mpi_roundtrip() {
+        let cfg = PpConfig::mpi_original();
+        assert_eq!(cfg.to_string(), "mpi_orig");
+        let parsed: PpConfig = "mpi_orig".parse().unwrap();
+        assert!(parsed.original_mpi);
+    }
+}

@@ -1,0 +1,309 @@
+//! The TCP parcelport — HPX's original backend (§1: "Prior to this
+//! project, it had two communication backends (parcelports): TCP and
+//! MPI").
+//!
+//! Modeled as kernel-socket byte streams over the same wire:
+//!
+//! * one stream per destination; every HPX message is framed
+//!   (length-prefixed) and **fully copied** into the stream — TCP has no
+//!   zero-copy path, so large arguments pay user→kernel and kernel→user
+//!   copies on both sides;
+//! * writes cost a syscall and are segmented into ≤64 KiB kernel
+//!   packets, each charged kernel-stack time on both ends;
+//! * the receive side reassembles the stream and parses frames from
+//!   background work.
+//!
+//! The point of carrying this backend is the baseline ordering the paper
+//! implies: `tcp` ≪ `mpi` < `lci` — reproduced in
+//! `bench/src/bin/tcp_comparison.rs`.
+
+use std::collections::HashMap;
+
+use amt::codec::{Reader, Writer};
+use amt::{BgOutcome, DeliverFn, HpxMessage, OnSent, Parcelport};
+use bytes::Bytes;
+use netsim::{Fabric, NodeId, Packet, PollOutcome};
+use simcore::{CostModel, Sim, SimResource, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Kernel segment size (a large-MTU / GSO segment).
+const SEGMENT: usize = 64 * 1024;
+/// Packet kind used on the simulated wire.
+const KIND_STREAM: u8 = 42;
+
+/// Per-destination outgoing stream state.
+struct OutStream {
+    /// Bytes queued but not yet segmented onto the wire.
+    queue: Vec<u8>,
+    /// The kernel socket send path: one ordered stream — all writers to
+    /// this destination serialize through the socket lock.
+    sock: SimResource,
+}
+
+/// Per-source incoming reassembly state.
+struct InStream {
+    buf: Vec<u8>,
+    /// The kernel socket receive path: a single reader per stream.
+    sock: SimResource,
+}
+
+/// The TCP parcelport.
+pub struct TcpParcelport {
+    rank: NodeId,
+    fabric: Rc<RefCell<Fabric>>,
+    cost: Rc<CostModel>,
+    deliver: Option<DeliverFn>,
+    out: HashMap<NodeId, OutStream>,
+    inc: HashMap<NodeId, InStream>,
+    name: String,
+}
+
+impl TcpParcelport {
+    /// Create the parcelport for one locality.
+    pub fn new(
+        rank: NodeId,
+        fabric: Rc<RefCell<Fabric>>,
+        cost: Rc<CostModel>,
+        send_immediate: bool,
+    ) -> Self {
+        TcpParcelport {
+            rank,
+            fabric,
+            cost,
+            deliver: None,
+            out: HashMap::new(),
+            inc: HashMap::new(),
+            name: format!("tcp{}", if send_immediate { "_i" } else { "" }),
+        }
+    }
+
+    /// Frame one HPX message into the stream encoding:
+    /// `u32 nzc_len, nzc, u32 zc_count, (u64 len, bytes)*, u8 has_trans,
+    /// [u32 trans_len, trans]`.
+    fn frame(msg: &HpxMessage) -> Bytes {
+        let mut w = Writer::with_capacity(64 + msg.total_bytes());
+        w.put_bytes(&msg.non_zero_copy);
+        w.put_u32(msg.zero_copy.len() as u32);
+        for c in &msg.zero_copy {
+            w.put_bytes(c);
+        }
+        match &msg.transmission {
+            Some(t) => {
+                w.put_u8(1);
+                w.put_bytes(t);
+            }
+            None => w.put_u8(0),
+        }
+        // Length-prefix the whole frame.
+        let body = w.finish();
+        let mut framed = Writer::with_capacity(4 + body.len());
+        framed.put_u32(body.len() as u32);
+        framed.put_raw(&body);
+        framed.finish()
+    }
+
+    /// Try to parse one complete frame from `buf`; returns the message
+    /// and the bytes consumed.
+    fn parse_frame(buf: &[u8]) -> Option<(HpxMessage, usize)> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let body_len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+        if buf.len() < 4 + body_len {
+            return None;
+        }
+        let mut r = Reader::new(&buf[4..4 + body_len]);
+        let nzc = Bytes::copy_from_slice(r.get_bytes());
+        let zc_count = r.get_u32() as usize;
+        let mut zc = Vec::with_capacity(zc_count);
+        for _ in 0..zc_count {
+            // Copy out of the stream buffer (a real recv-side copy).
+            zc.push(Bytes::copy_from_slice(r.get_bytes()));
+        }
+        let transmission = if r.get_u8() == 1 {
+            Some(Bytes::copy_from_slice(r.get_bytes()))
+        } else {
+            None
+        };
+        assert!(r.is_exhausted(), "trailing bytes in TCP frame");
+        Some((HpxMessage { non_zero_copy: nzc, zero_copy: zc, transmission }, 4 + body_len))
+    }
+
+    /// Segment and send everything queued for `dest`.
+    fn flush(&mut self, sim: &mut Sim, core: usize, dest: NodeId, mut t: SimTime) -> SimTime {
+        let stream = self.out.get_mut(&dest).expect("stream exists");
+        let data = std::mem::take(&mut stream.queue);
+        for seg in data.chunks(SEGMENT) {
+            // Syscall + kernel copy per segment.
+            t = t + self.cost.tcp_syscall + self.cost.memcpy(seg.len());
+            let out = self.fabric.borrow_mut().send(
+                sim,
+                core,
+                t,
+                Packet {
+                    src: self.rank,
+                    dst: dest,
+                    ctx: 0,
+                    kind: KIND_STREAM,
+                    tag: 0,
+                    imm: 0,
+                    data: Bytes::copy_from_slice(seg),
+                },
+            );
+            t = t.max(out.cpu_done) + self.cost.tcp_kernel;
+            sim.stats.bump("tcp_pp.segments_sent");
+        }
+        t
+    }
+}
+
+impl Parcelport for TcpParcelport {
+    fn put_message(
+        &mut self,
+        sim: &mut Sim,
+        core: usize,
+        at: SimTime,
+        dest: usize,
+        msg: HpxMessage,
+        on_sent: Option<OnSent>,
+    ) -> SimTime {
+        let frame = Self::frame(&msg);
+        let transfer = self.cost.cacheline_transfer;
+        let stream = self
+            .out
+            .entry(dest)
+            .or_insert_with(|| OutStream { queue: Vec::new(), sock: SimResource::new("tcp.sock_tx", transfer) });
+        // Full user-space copy into the socket buffer — including the
+        // "zero-copy" chunks, which TCP cannot avoid copying — performed
+        // under the socket send lock (one ordered stream per peer).
+        let t0 = at.max(sim.now());
+        let copy = self.cost.memcpy(frame.len()) + self.cost.tcp_syscall;
+        let mut t = stream.sock.access(t0, core, copy);
+        self.out.get_mut(&dest).expect("just inserted").queue.extend_from_slice(&frame);
+        t = self.flush(sim, core, dest, t);
+        sim.stats.bump("tcp_pp.messages_posted");
+        if let Some(cb) = on_sent {
+            sim.schedule_at(t, move |sim| cb(sim, core));
+        }
+        t
+    }
+
+    fn background_work(&mut self, sim: &mut Sim, core: usize) -> BgOutcome {
+        let mut t = sim.now();
+        let mut did_work = false;
+        let mut next_arrival = None;
+        for _ in 0..8 {
+            let outcome = self.fabric.borrow_mut().poll(sim, core, self.rank);
+            match outcome {
+                PollOutcome::Empty { cpu_done, next_arrival: na } => {
+                    t = t.max(cpu_done);
+                    next_arrival = na;
+                    break;
+                }
+                PollOutcome::Packet { pkt, cpu_done } => {
+                    let transfer = self.cost.cacheline_transfer;
+                    let stream = self
+                        .inc
+                        .entry(pkt.src)
+                        .or_insert_with(|| InStream { buf: Vec::new(), sock: SimResource::new("tcp.sock_rx", transfer) });
+                    // Kernel protocol processing + copy into the stream
+                    // buffer, serialized per stream (single reader).
+                    let work = self.cost.tcp_kernel + self.cost.memcpy(pkt.len());
+                    t = stream.sock.access(t.max(cpu_done), core, work);
+                    stream.buf.extend_from_slice(&pkt.data);
+                    did_work = true;
+                }
+            }
+        }
+        // Parse every complete frame in every stream.
+        let srcs: Vec<NodeId> = self.inc.keys().copied().collect();
+        for src in srcs {
+            loop {
+                let parsed = {
+                    let stream = self.inc.get_mut(&src).expect("stream exists");
+                    Self::parse_frame(&stream.buf)
+                };
+                match parsed {
+                    Some((msg, consumed)) => {
+                        let stream = self.inc.get_mut(&src).expect("stream exists");
+                        stream.buf.drain(..consumed);
+                        let work = self.cost.tcp_syscall + self.cost.memcpy(consumed);
+                        t = stream.sock.access(t, core, work);
+                        sim.stats.bump("tcp_pp.messages_received");
+                        did_work = true;
+                        if let Some(d) = self.deliver.clone() {
+                            d(sim, core, t, src, msg);
+                        }
+                    }
+                    None => break,
+                }
+            }
+        }
+        BgOutcome {
+            did_work,
+            cpu_done: t,
+            retry_at: next_arrival,
+            wake_workers: false,
+            completions: 0,
+        }
+    }
+
+    fn set_deliver(&mut self, deliver: DeliverFn) {
+        self.deliver = Some(deliver);
+    }
+
+    fn config_name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amt::parcel::Parcel;
+
+    fn msg(sizes: &[usize]) -> HpxMessage {
+        let args = sizes.iter().map(|&n| Bytes::from(vec![7u8; n])).collect();
+        HpxMessage::encode(&[Parcel::new(1, args)], 8192)
+    }
+
+    #[test]
+    fn frame_roundtrip_small() {
+        let m = msg(&[32, 100]);
+        let f = TcpParcelport::frame(&m);
+        let (out, consumed) = TcpParcelport::parse_frame(&f).expect("complete frame");
+        assert_eq!(consumed, f.len());
+        assert_eq!(out.decode(), m.decode());
+    }
+
+    #[test]
+    fn frame_roundtrip_zero_copy() {
+        let m = msg(&[32, 20_000, 9_000]);
+        let f = TcpParcelport::frame(&m);
+        let (out, _) = TcpParcelport::parse_frame(&f).expect("complete frame");
+        assert_eq!(out.decode(), m.decode());
+        assert_eq!(out.zero_copy.len(), 2);
+    }
+
+    #[test]
+    fn partial_frame_waits() {
+        let m = msg(&[512]);
+        let f = TcpParcelport::frame(&m);
+        assert!(TcpParcelport::parse_frame(&f[..f.len() - 1]).is_none());
+        assert!(TcpParcelport::parse_frame(&f[..3]).is_none());
+    }
+
+    #[test]
+    fn two_frames_back_to_back() {
+        let a = TcpParcelport::frame(&msg(&[8]));
+        let b = TcpParcelport::frame(&msg(&[16]));
+        let mut buf = a.to_vec();
+        buf.extend_from_slice(&b);
+        let (m1, c1) = TcpParcelport::parse_frame(&buf).expect("first");
+        assert_eq!(m1.decode()[0].args[0].len(), 8);
+        let (m2, c2) = TcpParcelport::parse_frame(&buf[c1..]).expect("second");
+        assert_eq!(m2.decode()[0].args[0].len(), 16);
+        assert_eq!(c1 + c2, buf.len());
+    }
+}

@@ -1,0 +1,230 @@
+//! The cost model: every per-operation virtual-time charge in one place.
+//!
+//! All magnitudes are nanoseconds of simulated CPU time. Defaults are
+//! calibrated so the reproduced stack lands in the same regime as the
+//! paper's measurements on SDSC Expanse (LCI baseline 8 B peak message rate
+//! ~750 K/s, `mt` variants ~285 K/s, `sendrecv` ~3.5x below `putsendrecv`,
+//! MPI collapsing under injection pressure). Absolute values are *model
+//! parameters*, not claims about any specific CPU; EXPERIMENTS.md compares
+//! shapes, not absolute numbers.
+
+/// Per-operation virtual-time charges (ns) shared by every layer.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    // ---- generic CPU ----
+    /// Creating a task object and enqueueing it on a scheduler queue.
+    pub task_spawn: u64,
+    /// Popping a task from a scheduler queue and setting up its frame.
+    pub task_schedule: u64,
+    /// Cost of one failed/empty poll of any queue (scheduler idle loop).
+    pub idle_poll: u64,
+    /// Small heap allocation / deallocation.
+    pub alloc: u64,
+    /// One uncontended atomic RMW (fetch_add etc.).
+    pub atomic_op: u64,
+    /// Moving a contended cache line between cores (fed to `SimResource`).
+    pub cacheline_transfer: u64,
+    /// Copying memory, per byte (0.05 ns/B = 20 GB/s memcpy).
+    pub memcpy_per_byte_milli: u64,
+    /// Serializing/deserializing structured data, per byte.
+    pub serialize_per_byte_milli: u64,
+
+    // ---- LCI library ----
+    /// Entry overhead of posting any LCI operation (sendm/sendl/put/recv).
+    pub lci_op: u64,
+    /// One progress-engine poll that finds nothing.
+    pub lci_progress_empty: u64,
+    /// Progress-engine handling of one arrived packet (decode + route).
+    pub lci_packet_handle: u64,
+    /// Pushing an entry onto an LCI completion queue.
+    pub lci_cq_push: u64,
+    /// Popping an LCI completion queue (success or failure).
+    pub lci_cq_pop: u64,
+    /// Inserting a posted receive into the matching table.
+    pub lci_match_insert: u64,
+    /// Searching the matching table for one arrived send.
+    pub lci_match_lookup: u64,
+    /// Handling an unexpected message (no matching receive posted yet).
+    pub lci_unexpected: u64,
+    /// Signaling a synchronizer (producer side).
+    pub lci_sync_signal: u64,
+    /// Testing a synchronizer (consumer side), per test.
+    pub lci_sync_test: u64,
+    /// Handling one rendezvous control message (RTS/RTR/FIN).
+    pub lci_rdv_ctrl: u64,
+    /// Re-warming the progress engine's working set when a different
+    /// core calls `progress` than last time (cache/TLB migration of the
+    /// engine state). This is the dominant `pin` vs `mt` penalty: the
+    /// pinned progress thread never pays it.
+    pub lci_progress_migrate: u64,
+    /// Getting/returning a pre-registered packet from the packet pool.
+    pub lci_packet_pool: u64,
+    /// Allocating a dynamic buffer on the receive side of a `put`.
+    pub lci_dyn_alloc: u64,
+
+    // ---- MPI library ----
+    /// Entry overhead of any MPI call (`MPI_Isend`, `MPI_Irecv`, `MPI_Test`).
+    pub mpi_call: u64,
+    /// Time the global progress lock is *held* per progress poll
+    /// (the `ucp_progress` critical section).
+    pub mpi_progress_hold: u64,
+    /// Extra critical-section time per in-flight operation examined.
+    pub mpi_progress_per_op: u64,
+    /// Base handoff cost of the blocking progress lock when contended.
+    pub mpi_lock_handoff: u64,
+    /// Additional handoff cost per core already waiting on the lock.
+    pub mpi_lock_per_waiter: u64,
+    /// Matching one arrived message against the posted-receive list.
+    pub mpi_match: u64,
+    /// Per-entry cost of scanning the linear unexpected-message queue in
+    /// `MPI_Irecv` — the mechanism behind MPI's collapse under many
+    /// concurrent messages (Figs. 4, 8, 9).
+    pub mpi_unexp_scan: u64,
+    /// Buffering an unexpected message (allocation + copy overhead base).
+    pub mpi_unexpected: u64,
+    /// Engine work per arrived packet handled inside `ucp_progress`.
+    pub mpi_handle_packet: u64,
+    /// Rendezvous protocol work per control message (registration, RTS/RTR
+    /// processing, protocol switch — the paper's "protocol switch in the
+    /// MPI/UCX layer").
+    pub mpi_rndv: u64,
+
+    // ---- TCP stack ----
+    /// One socket syscall (send/recv) — user/kernel crossing.
+    pub tcp_syscall: u64,
+    /// Kernel network-stack work per segment (protocol processing).
+    pub tcp_kernel: u64,
+
+    // ---- AMT runtime (mini-HPX) ----
+    /// Dispatching a received parcel to its registered action.
+    pub amt_action_dispatch: u64,
+    /// Fixed overhead of encoding an HPX message (besides per-byte cost).
+    pub amt_encode_base: u64,
+    /// Per-parcel serialization work while encoding (HPX's C++
+    /// serialization of action metadata and small arguments is heavy).
+    pub amt_encode_per_parcel: u64,
+    /// Fixed overhead of decoding an HPX message.
+    pub amt_decode_base: u64,
+    /// Per-parcel deserialization work while decoding.
+    pub amt_decode_per_parcel: u64,
+    /// One operation on the connection cache (spinlock + map lookup).
+    pub amt_conncache_op: u64,
+    /// One operation on a per-destination parcel queue (spinlock + deque).
+    pub amt_parcel_queue_op: u64,
+    /// Staging cost per byte (milli-ns) of a zero-copy chunk in the
+    /// *aggregated* (non-send-immediate) path: the upper layer cannot
+    /// aggregate zero-copy chunks, so large arguments pay extra handling
+    /// when routed through the parcel queue (§4.1: "they cannot aggregate
+    /// zero-copy chunks while suffering from the additional overhead of
+    /// aggregation").
+    pub amt_drain_zc_per_byte_milli: u64,
+    /// One iteration of the background-work wrapper around a parcelport.
+    pub amt_background_work: u64,
+    /// Mean extra delay before an idle *worker* thread notices a network
+    /// event, relative to a dedicated pinned progress thread that spins on
+    /// the NIC. This is the response-time edge of the `pin` variants.
+    pub worker_poll_skew: u64,
+
+    // ---- parcelport layer ----
+    /// Assembling or decoding a header message.
+    pub pp_header: u64,
+    /// Creating/retiring a sender or receiver connection object.
+    pub pp_connection: u64,
+    /// One round-robin scan step over the pending-connection list.
+    pub pp_pending_scan: u64,
+}
+
+impl CostModel {
+    /// Calibrated defaults (see module docs).
+    pub fn default_model() -> Self {
+        CostModel {
+            task_spawn: 300,
+            task_schedule: 250,
+            idle_poll: 40,
+            alloc: 80,
+            atomic_op: 20,
+            cacheline_transfer: 600,
+            memcpy_per_byte_milli: 50,     // 0.05 ns/B
+            serialize_per_byte_milli: 250, // 0.25 ns/B
+            lci_op: 140,
+            lci_progress_empty: 60,
+            lci_packet_handle: 700,
+            lci_cq_push: 120,
+            lci_cq_pop: 60,
+            lci_match_insert: 600,
+            lci_match_lookup: 800,
+            lci_unexpected: 2_200,
+            lci_sync_signal: 70,
+            lci_sync_test: 160,
+            lci_rdv_ctrl: 280,
+            lci_progress_migrate: 2_800,
+            lci_packet_pool: 60,
+            lci_dyn_alloc: 220,
+            mpi_call: 50,
+            mpi_progress_hold: 60,
+            mpi_progress_per_op: 25,
+            mpi_lock_handoff: 80,
+            mpi_lock_per_waiter: 15,
+            mpi_match: 200,
+            mpi_unexp_scan: 12,
+            mpi_unexpected: 320,
+            mpi_handle_packet: 600,
+            mpi_rndv: 8_000,
+            tcp_syscall: 2_500,
+            tcp_kernel: 4_000,
+            amt_action_dispatch: 1_500,
+            amt_encode_base: 250,
+            amt_encode_per_parcel: 2_500,
+            amt_decode_base: 250,
+            amt_decode_per_parcel: 2_500,
+            amt_conncache_op: 170,
+            amt_parcel_queue_op: 210,
+            amt_drain_zc_per_byte_milli: 450,
+            amt_background_work: 60,
+            worker_poll_skew: 2_000,
+            pp_header: 150,
+            pp_connection: 130,
+            pp_pending_scan: 70,
+        }
+    }
+
+    /// Cost of copying `bytes` bytes.
+    #[inline]
+    pub fn memcpy(&self, bytes: usize) -> u64 {
+        (bytes as u64 * self.memcpy_per_byte_milli) / 1000
+    }
+
+    /// Cost of serializing/deserializing `bytes` bytes of structured data.
+    #[inline]
+    pub fn serialize(&self, bytes: usize) -> u64 {
+        (bytes as u64 * self.serialize_per_byte_milli) / 1000
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::default_model()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_byte_costs_scale_linearly() {
+        let c = CostModel::default_model();
+        assert_eq!(c.memcpy(0), 0);
+        assert_eq!(c.memcpy(1000), c.memcpy(500) * 2);
+        assert!(c.serialize(8192) > c.memcpy(8192), "serialization is dearer than memcpy");
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CostModel::default();
+        assert!(c.atomic_op < c.cacheline_transfer);
+        assert!(c.lci_progress_empty < c.lci_packet_handle);
+        assert!(c.mpi_lock_per_waiter > 0, "convoy term must exist");
+        assert!(c.lci_progress_migrate > c.lci_packet_handle, "migration dwarfs one packet");
+    }
+}

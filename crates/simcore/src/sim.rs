@@ -1,0 +1,255 @@
+//! The event loop: a deterministic time-ordered heap of scheduled closures.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::stats::Stats;
+use crate::time::SimTime;
+
+/// Identifier of a scheduled event (its insertion sequence number).
+///
+/// Events with equal timestamps fire in insertion order, which makes every
+/// run bit-for-bit reproducible for a given seed and workload.
+pub type EventId = u64;
+
+type EventFn = Box<dyn FnOnce(&mut Sim)>;
+
+struct Entry {
+    at: SimTime,
+    seq: EventId,
+    f: EventFn,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event simulator: virtual clock + event heap + seeded RNG +
+/// named statistic counters.
+///
+/// Components live outside the `Sim` (usually behind `Rc<RefCell<_>>`) and
+/// communicate by scheduling closures:
+///
+/// ```
+/// use simcore::{Sim, SimTime};
+/// use std::cell::Cell;
+/// use std::rc::Rc;
+///
+/// let mut sim = Sim::new(42);
+/// let hits = Rc::new(Cell::new(0));
+/// let h = hits.clone();
+/// sim.schedule_in(1_000, move |_sim| h.set(h.get() + 1));
+/// sim.run();
+/// assert_eq!(hits.get(), 1);
+/// assert_eq!(sim.now(), SimTime::from_nanos(1_000));
+/// ```
+pub struct Sim {
+    now: SimTime,
+    seq: EventId,
+    heap: BinaryHeap<Reverse<Entry>>,
+    /// Deterministic RNG for any randomized model decisions.
+    pub rng: StdRng,
+    /// Named counters collected during the run.
+    pub stats: Stats,
+    executed: u64,
+}
+
+impl Sim {
+    /// Create a simulator with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: Stats::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    #[inline]
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events still pending.
+    #[inline]
+    pub fn events_pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Schedule `f` to run at absolute virtual time `at` (clamped to `now`
+    /// if it is in the past). Returns the event's id.
+    pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: SimTime, f: F) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, f: Box::new(f) }));
+        seq
+    }
+
+    /// Schedule `f` to run `delay_ns` nanoseconds from now.
+    pub fn schedule_in<F: FnOnce(&mut Sim) + 'static>(&mut self, delay_ns: u64, f: F) -> EventId {
+        self.schedule_at(self.now + delay_ns, f)
+    }
+
+    /// Run a single event; returns `false` if the heap is empty.
+    pub fn step(&mut self) -> bool {
+        match self.heap.pop() {
+            Some(Reverse(e)) => {
+                debug_assert!(e.at >= self.now, "time must not go backwards");
+                self.now = e.at;
+                self.executed += 1;
+                (e.f)(self);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the event heap is empty.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the clock reaches `deadline` (events at exactly `deadline`
+    /// still fire) or the heap empties. Returns the number of events run.
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut n = 0;
+        while let Some(Reverse(head)) = self.heap.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+            n += 1;
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        n
+    }
+
+    /// Run until `pred` returns true (checked after every event) or the heap
+    /// empties. Returns whether the predicate was satisfied.
+    pub fn run_while<P: FnMut(&Sim) -> bool>(&mut self, mut pending: P) -> bool {
+        while pending(self) {
+            if !self.step() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Sim::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for (delay, label) in [(300u64, 'c'), (100, 'a'), (200, 'b')] {
+            let o = order.clone();
+            sim.schedule_in(delay, move |_| o.borrow_mut().push(label));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!['a', 'b', 'c']);
+        assert_eq!(sim.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_fire_in_insertion_order() {
+        let mut sim = Sim::new(0);
+        let order = Rc::new(RefCell::new(Vec::new()));
+        for label in ['x', 'y', 'z'] {
+            let o = order.clone();
+            sim.schedule_at(SimTime::from_nanos(50), move |_| o.borrow_mut().push(label));
+        }
+        sim.run();
+        assert_eq!(*order.borrow(), vec!['x', 'y', 'z']);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Sim::new(0);
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = hits.clone();
+        sim.schedule_in(10, move |sim| {
+            let h2 = h.clone();
+            sim.schedule_in(5, move |_| *h2.borrow_mut() += 1);
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), 1);
+        assert_eq!(sim.now(), SimTime::from_nanos(15));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut sim = Sim::new(0);
+        let hits = Rc::new(RefCell::new(0u32));
+        for d in [10u64, 20, 30] {
+            let h = hits.clone();
+            sim.schedule_in(d, move |_| *h.borrow_mut() += 1);
+        }
+        sim.run_until(SimTime::from_nanos(20));
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(sim.now(), SimTime::from_nanos(20));
+        // Clock advances to the deadline even when no event lands on it.
+        sim.run_until(SimTime::from_nanos(25));
+        assert_eq!(sim.now(), SimTime::from_nanos(25));
+        sim.run();
+        assert_eq!(*hits.borrow(), 3);
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut sim = Sim::new(0);
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        let h = hits.clone();
+        sim.schedule_in(100, move |sim| {
+            let h2 = h.clone();
+            // "at 10ns" is already in the past here; must fire at now=100.
+            sim.schedule_at(SimTime::from_nanos(10), move |sim| {
+                h2.borrow_mut().push(sim.now());
+            });
+        });
+        sim.run();
+        assert_eq!(*hits.borrow(), vec![SimTime::from_nanos(100)]);
+    }
+
+    #[test]
+    fn deterministic_rng() {
+        use rand::Rng;
+        let mut a = Sim::new(7);
+        let mut b = Sim::new(7);
+        let xa: u64 = a.rng.gen();
+        let xb: u64 = b.rng.gen();
+        assert_eq!(xa, xb);
+    }
+}

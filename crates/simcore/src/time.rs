@@ -1,0 +1,142 @@
+//! Virtual time: a nanosecond-resolution simulated clock value.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation's virtual clock, in nanoseconds since the
+/// start of the run.
+///
+/// `SimTime` is a newtype over `u64`, totally ordered, and saturating on
+/// subtraction (the simulation never produces negative instants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant — used as "never".
+    pub const NEVER: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since the start of the run.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// This instant expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Nanoseconds elapsed since `earlier`, saturating at zero.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+    /// Advance the instant by `rhs` nanoseconds.
+    #[inline]
+    fn add(self, rhs: u64) -> SimTime {
+        SimTime(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = u64;
+    /// Nanoseconds between two instants, saturating at zero.
+    #[inline]
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_micros(3), SimTime::from_nanos(3_000));
+        assert_eq!(SimTime::from_millis(2), SimTime::from_nanos(2_000_000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_nanos(1_000_000_000));
+    }
+
+    #[test]
+    fn arithmetic_is_saturating() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(30);
+        assert_eq!(b - a, 20);
+        assert_eq!(a - b, 0);
+        assert_eq!(SimTime::NEVER + 5, SimTime::NEVER);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(SimTime::from_nanos(17).to_string(), "17ns");
+        assert_eq!(SimTime::from_nanos(1_500).to_string(), "1.500us");
+        assert_eq!(SimTime::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(SimTime::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_nanos(5);
+        assert_eq!(a.since(SimTime::from_nanos(2)), 3);
+        assert_eq!(a.since(SimTime::from_nanos(9)), 0);
+    }
+}

@@ -1,0 +1,35 @@
+//! Octo-Tiger mini demo: strong-scale the FMM proxy application across
+//! simulated cluster nodes and watch the parcelport choice matter.
+//!
+//! Run with: `cargo run --release --example octotiger_demo`
+
+use hpx_lci_repro::octotiger_mini::{run_octotiger, OctoParams};
+
+fn main() {
+    println!("Octo-Tiger mini: binary-star FMM proxy, 5 steps per run");
+    println!();
+    println!(
+        "{:<8} {:<20} {:>12} {:>10} {:>8}",
+        "nodes", "parcelport", "steps/s", "leaves", "mass ok"
+    );
+    println!("{}", "-".repeat(64));
+    for nodes in [2usize, 8, 16] {
+        for cfg in ["mpi_i", "lci_psr_cq_pin_i"] {
+            let params = OctoParams::expanse(cfg.parse().unwrap(), nodes);
+            let r = run_octotiger(&params);
+            println!(
+                "{:<8} {:<20} {:>12.3} {:>10} {:>8}",
+                nodes,
+                cfg,
+                r.steps_per_sec,
+                r.leaves,
+                if r.mass_ok { "yes" } else { "NO!" }
+            );
+            assert!(r.completed, "run did not complete");
+            assert!(r.mass_ok, "mass conservation violated — physics broken");
+        }
+    }
+    println!();
+    println!("The mass invariant (root multipole == exact leaf-mass sum) holds on");
+    println!("every backend: communication never changes the physics, only the speed.");
+}

@@ -1,0 +1,15 @@
+//! Umbrella crate for the reproduction of *"Design and Analysis of the
+//! Network Software Stack of an Asynchronous Many-task System — The LCI
+//! parcelport of HPX"* (SC-W 2023).
+//!
+//! Re-exports every workspace crate so examples and integration tests can
+//! use one dependency. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use amt;
+pub use lci;
+pub use mpisim;
+pub use netsim;
+pub use octotiger_mini;
+pub use parcelport;
+pub use simcore;

@@ -1,0 +1,65 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use bytes::Bytes;
+use hpx_lci_repro::amt::action::ActionRegistry;
+use hpx_lci_repro::parcelport::{build_world, World, WorldConfig};
+
+/// Outcome of a counted-delivery workload.
+pub struct Delivery {
+    /// The world after the run (for stats inspection).
+    pub world: World,
+    /// Messages delivered to the sink action.
+    pub delivered: usize,
+    /// Concatenation-order payload checksums seen by the sink.
+    pub checksums: Vec<u64>,
+}
+
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Send `payloads` from locality 0 to a sink action on locality 1 over
+/// the given configuration; returns the delivery record.
+pub fn send_all(cfg: WorldConfig, payloads: Vec<Vec<u8>>) -> Delivery {
+    let mut registry = ActionRegistry::new();
+    let delivered = Rc::new(Cell::new(0usize));
+    let checksums = Rc::new(RefCell::new(Vec::new()));
+    let expect = payloads.len();
+    {
+        let delivered = delivered.clone();
+        let checksums = checksums.clone();
+        registry.register("sink", move |sim, _loc, _core, p| {
+            delivered.set(delivered.get() + 1);
+            checksums.borrow_mut().push(fnv(&p.args[0]));
+            sim.now() + 150
+        });
+    }
+    let sink = registry.id_of("sink").unwrap();
+    let mut world = build_world(&cfg, registry);
+    for payload in payloads {
+        let loc0 = world.locality(0).clone();
+        let data = Bytes::from(payload);
+        loc0.spawn(
+            &mut world.sim,
+            0,
+            Box::new(move |sim, loc, core| loc.send_action(sim, core, 1, sink, vec![data])),
+        );
+    }
+    let d = delivered.clone();
+    world.run_while(60_000_000_000, move |_| d.get() < expect);
+    let sums = checksums.borrow().clone();
+    Delivery { world, delivered: delivered.get(), checksums: sums }
+}
+
+/// Reference checksums in send order.
+pub fn reference_checksums(payloads: &[Vec<u8>]) -> Vec<u64> {
+    payloads.iter().map(|p| fnv(p)).collect()
+}
