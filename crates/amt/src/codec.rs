@@ -71,6 +71,142 @@ impl Writer {
     }
 }
 
+/// Payload size (bytes) at or above which [`FrameWriter::put_shared`]
+/// keeps the chunk as a shared piece (a refcount bump) instead of copying
+/// it into the frame. Matches HPX's zero-copy serialization threshold.
+pub const SHARED_CHUNK_MIN: usize = 8192;
+
+/// A serialized frame as a rope of byte pieces.
+///
+/// Small writes are coalesced into contiguous pieces; large chunks are
+/// *shared* pieces referencing the original argument storage. The encoded
+/// byte stream is identical to writing everything through [`Writer`] —
+/// only the ownership differs.
+#[derive(Debug, Clone, Default)]
+pub struct Frame {
+    pieces: Vec<Bytes>,
+    len: usize,
+    shared: usize,
+}
+
+impl Frame {
+    /// Total encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the frame is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bytes carried by reference (shared pieces) rather than copied.
+    pub fn shared_bytes(&self) -> usize {
+        self.shared
+    }
+
+    /// The pieces, in stream order.
+    pub fn pieces(&self) -> &[Bytes] {
+        &self.pieces
+    }
+
+    /// Consume into the pieces, in stream order.
+    pub fn into_pieces(self) -> Vec<Bytes> {
+        self.pieces
+    }
+
+    /// Flatten into one contiguous buffer (copies; for tests and
+    /// receive-side reassembly).
+    pub fn to_bytes(&self) -> Bytes {
+        let mut v = Vec::with_capacity(self.len);
+        for p in &self.pieces {
+            v.extend_from_slice(p);
+        }
+        Bytes::from(v)
+    }
+}
+
+/// Streaming writer producing a [`Frame`]: scalar writes coalesce, large
+/// chunk payloads ride along by reference.
+#[derive(Debug, Default)]
+pub struct FrameWriter {
+    pieces: Vec<Bytes>,
+    cur: BytesMut,
+    len: usize,
+    shared: usize,
+}
+
+impl FrameWriter {
+    /// Create an empty frame writer.
+    pub fn new() -> Self {
+        FrameWriter::default()
+    }
+
+    /// Create a frame writer with reserved capacity for the coalesced
+    /// (copied) portion.
+    pub fn with_capacity(cap: usize) -> Self {
+        FrameWriter { pieces: Vec::new(), cur: BytesMut::with_capacity(cap), len: 0, shared: 0 }
+    }
+
+    /// Append a `u8`.
+    pub fn put_u8(&mut self, x: u8) {
+        self.cur.put_u8(x);
+        self.len += 1;
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, x: u32) {
+        self.cur.put_u32_le(x);
+        self.len += 4;
+    }
+
+    /// Append raw bytes (copied) with a `u32` length prefix.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(u32::try_from(b.len()).expect("chunk too large"));
+        self.cur.put_slice(b);
+        self.len += b.len();
+    }
+
+    /// Append a chunk with a `u32` length prefix; payloads of
+    /// [`SHARED_CHUNK_MIN`] bytes or more become shared pieces — a
+    /// refcount bump on the original storage instead of a copy. The byte
+    /// stream is identical to [`FrameWriter::put_bytes`] either way.
+    pub fn put_shared(&mut self, b: &Bytes) {
+        self.put_u32(u32::try_from(b.len()).expect("chunk too large"));
+        if b.len() >= SHARED_CHUNK_MIN {
+            self.seal_cur();
+            self.pieces.push(b.clone());
+            self.shared += b.len();
+        } else {
+            self.cur.put_slice(b);
+        }
+        self.len += b.len();
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn seal_cur(&mut self) {
+        if !self.cur.is_empty() {
+            let sealed = std::mem::take(&mut self.cur);
+            self.pieces.push(sealed.freeze());
+        }
+    }
+
+    /// Finish, yielding the frame rope.
+    pub fn finish(mut self) -> Frame {
+        self.seal_cur();
+        Frame { pieces: self.pieces, len: self.len, shared: self.shared }
+    }
+}
+
 /// Cursor-based reader over a byte slice; panics on truncation (framing
 /// errors are programming bugs in this closed system, not external input).
 #[derive(Debug)]
@@ -166,6 +302,54 @@ mod tests {
     fn truncated_read_panics() {
         let mut r = Reader::new(&[1, 2]);
         r.get_u32();
+    }
+
+    #[test]
+    fn frame_writer_matches_flat_writer() {
+        let small = Bytes::from(vec![9u8; 100]);
+        let big = Bytes::from(vec![8u8; SHARED_CHUNK_MIN]);
+        let mut fw = FrameWriter::new();
+        fw.put_u32(0xFEED);
+        fw.put_shared(&small);
+        fw.put_shared(&big);
+        fw.put_u8(3);
+        let frame = fw.finish();
+
+        let mut w = Writer::new();
+        w.put_u32(0xFEED);
+        w.put_bytes(&small);
+        w.put_bytes(&big);
+        w.put_u8(3);
+        let flat = w.finish();
+
+        assert_eq!(frame.len(), flat.len());
+        assert_eq!(&frame.to_bytes()[..], &flat[..]);
+        assert_eq!(frame.shared_bytes(), big.len());
+        // coalesced-head, shared, coalesced-tail
+        assert_eq!(frame.pieces().len(), 3);
+    }
+
+    #[test]
+    fn frame_shared_piece_is_a_refcount_bump() {
+        let big = Bytes::from(vec![5u8; SHARED_CHUNK_MIN + 1]);
+        let mut fw = FrameWriter::new();
+        fw.put_shared(&big);
+        let frame = fw.finish();
+        // The shared piece aliases the source buffer: same backing
+        // pointer, no copy.
+        let shared = &frame.pieces()[1];
+        assert_eq!(shared.as_ptr(), big.as_ptr());
+    }
+
+    #[test]
+    fn frame_below_threshold_copies() {
+        let chunk = Bytes::from(vec![5u8; SHARED_CHUNK_MIN - 1]);
+        let mut fw = FrameWriter::new();
+        fw.put_shared(&chunk);
+        let frame = fw.finish();
+        assert_eq!(frame.shared_bytes(), 0);
+        assert_eq!(frame.pieces().len(), 1);
+        assert_eq!(frame.len(), 4 + chunk.len());
     }
 
     #[cfg(test)]

@@ -68,13 +68,7 @@ pub struct BgOutcome {
 impl BgOutcome {
     /// An outcome that accomplished nothing.
     pub fn idle(cpu_done: SimTime) -> Self {
-        BgOutcome {
-            did_work: false,
-            cpu_done,
-            retry_at: None,
-            wake_workers: false,
-            completions: 0,
-        }
+        BgOutcome { did_work: false, cpu_done, retry_at: None, wake_workers: false, completions: 0 }
     }
 }
 
@@ -87,10 +81,11 @@ pub type DeliverFn = std::rc::Rc<dyn Fn(&mut Sim, usize, SimTime, usize, HpxMess
 /// (all its chunks' sends completed locally) — used by the parcel layer to
 /// recycle the connection-cache slot. Receives `(sim, core)` where `core`
 /// is the core that observed the completion. Parcelports must invoke it
-/// from a *fresh event* (`sim.schedule_at`), never inline from a method
+/// from a *fresh event* (`sim.schedule_once_at`, which moves this box into
+/// the event with no further allocation), never inline from a method
 /// that still holds the parcelport borrowed, because the callback may
 /// re-enter the parcelport to send the next aggregated message.
-pub type OnSent = Box<dyn FnOnce(&mut Sim, usize)>;
+pub type OnSent = simcore::OnceFn;
 
 /// The parcelport interface: everything the runtime needs from a
 /// communication backend. Implementations live in the `parcelport` crate.

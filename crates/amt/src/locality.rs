@@ -1,11 +1,13 @@
 //! A locality: one simulated node of the HPX runtime — worker cores, task
 //! queue, background work, and the plumbing into the parcelport.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::rc::{Rc, Weak};
 
-use simcore::{CoreClock, CostModel, Sim, SimResource, SimTime, Tracer};
+use simcore::{
+    CoreClock, CostModel, EventHandler, EventId, HandlerId, Sim, SimResource, SimTime, Tracer,
+};
 
 use crate::action::{ActionId, ActionRegistry};
 use crate::parcel::Parcel;
@@ -22,10 +24,68 @@ struct SchedState {
     cores: Vec<CoreClock>,
     /// Per-core armed-tick marker; `SimTime::NEVER` when the core sleeps.
     armed: Vec<SimTime>,
+    /// The pending tick event per core, for rescheduling in place.
+    armed_ev: Vec<Option<EventId>>,
     backoff: Vec<IdleBackoff>,
     tasks_spawned: u64,
     tasks_run: u64,
     wake_rr: usize,
+}
+
+/// Typed-event tags carried in the low bits of the handler argument word.
+const EV_TICK: u64 = 0;
+const EV_DELIVER: u64 = 1;
+const EV_FLUSH: u64 = 2;
+const EV_TAG_MASK: u64 = 0b11;
+
+#[inline]
+fn tick_arg(core: usize) -> u64 {
+    EV_TICK | ((core as u64) << 2)
+}
+
+#[inline]
+fn deliver_arg(slot: usize) -> u64 {
+    EV_DELIVER | ((slot as u64) << 2)
+}
+
+#[inline]
+fn flush_arg(core: usize, dest: usize) -> u64 {
+    debug_assert!(dest < (1 << 31), "destination id too large to encode");
+    EV_FLUSH | ((dest as u64) << 2) | ((core as u64) << 33)
+}
+
+/// A delivery parked between the parcelport upcall and its decode task.
+struct PendingDeliver {
+    core: usize,
+    msg: HpxMessage,
+}
+
+/// Slab of in-flight deliveries, indexed by the event argument word.
+#[derive(Default)]
+struct DeliverSlab {
+    entries: Vec<Option<PendingDeliver>>,
+    free: Vec<u32>,
+}
+
+impl DeliverSlab {
+    fn insert(&mut self, pd: PendingDeliver) -> usize {
+        match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot as usize] = Some(pd);
+                slot as usize
+            }
+            None => {
+                self.entries.push(Some(pd));
+                self.entries.len() - 1
+            }
+        }
+    }
+
+    fn take(&mut self, slot: usize) -> PendingDeliver {
+        let pd = self.entries[slot].take().expect("delivery fired twice");
+        self.free.push(slot as u32);
+        pd
+    }
 }
 
 /// One simulated node running the AMT runtime.
@@ -43,6 +103,12 @@ pub struct Locality {
     layer: RefCell<ParcelLayer>,
     parcelport: RefCell<Option<Rc<RefCell<dyn Parcelport>>>>,
     tracer: RefCell<Option<Tracer>>,
+    /// Self-reference for registering as an event handler.
+    weak: Weak<Locality>,
+    /// Typed-event handler id, registered lazily on first use. A locality
+    /// drives exactly one `Sim` over its lifetime.
+    handler: Cell<Option<HandlerId>>,
+    pending: RefCell<DeliverSlab>,
 }
 
 impl Locality {
@@ -60,6 +126,7 @@ impl Locality {
             queue_res: SimResource::new("amt.task_queue", transfer),
             cores: (0..cfg.cores).map(CoreClock::new).collect(),
             armed: vec![SimTime::NEVER; cfg.cores],
+            armed_ev: vec![None; cfg.cores],
             backoff: (0..cfg.cores)
                 .map(|_| IdleBackoff::new(cost.idle_poll.max(50), cfg.max_idle_backoff_ns))
                 .collect(),
@@ -67,7 +134,7 @@ impl Locality {
             tasks_run: 0,
             wake_rr: 0,
         };
-        Rc::new(Locality {
+        Rc::new_cyclic(|weak| Locality {
             id,
             cfg,
             sched: RefCell::new(sched),
@@ -76,7 +143,23 @@ impl Locality {
             parcelport: RefCell::new(None),
             tracer: RefCell::new(None),
             cost,
+            weak: weak.clone(),
+            handler: Cell::new(None),
+            pending: RefCell::new(DeliverSlab::default()),
         })
+    }
+
+    /// This locality's typed-event handler id, registering on first use.
+    fn handler_id(&self, sim: &mut Sim) -> HandlerId {
+        match self.handler.get() {
+            Some(h) => h,
+            None => {
+                let rc = self.weak.upgrade().expect("locality alive");
+                let h = sim.register_handler(rc);
+                self.handler.set(Some(h));
+                h
+            }
+        }
     }
 
     /// Worker configuration.
@@ -159,9 +242,16 @@ impl Locality {
     }
 
     /// Arm a tick for `core` at `at` (deduplicated: keeps the earliest).
+    ///
+    /// A core has at most one live tick event. Arming earlier than the
+    /// pending tick *reschedules* it in place — re-sequenced exactly as a
+    /// freshly scheduled event would be — instead of the old scheme of
+    /// scheduling a second event and letting the first fire as a stale
+    /// no-op. The heap never carries dead tick events.
     pub fn arm(self: &Rc<Self>, sim: &mut Sim, core: usize, at: SimTime) {
         let at = at.max(sim.now());
-        {
+        let h = self.handler_id(sim);
+        let pending = {
             let mut s = self.sched.borrow_mut();
             let cur = s.armed[core];
             if cur <= at {
@@ -169,21 +259,19 @@ impl Locality {
                 return; // an earlier (or equal) tick is already pending
             }
             s.armed[core] = at;
-        }
+            s.armed_ev[core]
+        };
         sim.stats.bump("amt.arm_scheduled");
-        let loc = self.clone();
-        sim.schedule_at(at, move |sim| {
-            let fire = sim.now();
-            {
-                let mut s = loc.sched.borrow_mut();
-                if s.armed[core] != fire {
-                    sim.stats.bump("amt.arm_stale");
-                    return; // stale: re-armed earlier in the meantime
-                }
-                s.armed[core] = SimTime::NEVER;
+        match pending {
+            Some(ev) => {
+                let live = sim.reschedule(ev, at);
+                debug_assert!(live, "armed tick event must be pending");
             }
-            loc.tick(sim, core);
-        });
+            None => {
+                let ev = sim.schedule_event_at(at, h, tick_arg(core));
+                self.sched.borrow_mut().armed_ev[core] = Some(ev);
+            }
+        }
     }
 
     /// Spawn a task; wakes sleeping workers.
@@ -414,17 +502,44 @@ impl Locality {
     }
 
     /// Delivery upcall: a complete HPX message arrived from `src` and was
-    /// fully handled at virtual time `at`. Spawns one task (at `at`) that
-    /// decodes the message and runs its parcels' actions.
-    pub fn deliver(self: &Rc<Self>, sim: &mut Sim, core: usize, at: SimTime, src: usize, msg: HpxMessage) {
+    /// fully handled at virtual time `at`. Parks the message in the
+    /// delivery slab and schedules a typed event (no allocation beyond the
+    /// slab slot) that spawns the decode task at `at`.
+    pub fn deliver(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        core: usize,
+        at: SimTime,
+        src: usize,
+        msg: HpxMessage,
+    ) {
         sim.stats.bump("amt.messages_delivered");
+        let _ = src;
+        let h = self.handler_id(sim);
+        let slot = self.pending.borrow_mut().insert(PendingDeliver { core, msg });
+        sim.schedule_event_at(at.max(sim.now()), h, deliver_arg(slot));
+    }
+
+    /// Schedule a parcel-queue flush for `dest` at `at` (the close of a
+    /// drain window) as a typed event.
+    pub(crate) fn schedule_flush(
+        self: &Rc<Self>,
+        sim: &mut Sim,
+        core: usize,
+        dest: usize,
+        at: SimTime,
+    ) {
+        let h = self.handler_id(sim);
+        sim.schedule_event_at(at, h, flush_arg(core, dest));
+    }
+
+    /// Body of a fired delivery event: spawn the decode task.
+    fn spawn_decode(self: &Rc<Self>, sim: &mut Sim, pd: PendingDeliver) {
+        let PendingDeliver { core, msg } = pd;
         let decode_cost = self.cost.amt_decode_base + self.cost.serialize(msg.non_zero_copy.len());
         let per_parcel = self.cost.amt_decode_per_parcel;
         let dispatch = self.cost.amt_action_dispatch;
-        let src_loc = src;
-        let loc = self.clone();
-        sim.schedule_at(at.max(sim.now()), move |sim| {
-        loc.spawn(
+        self.spawn(
             sim,
             core,
             Box::new(move |sim, loc, core| {
@@ -438,12 +553,38 @@ impl Locality {
                     // from `sim.now()`; we add our offset before running.
                     let end = handler(sim, loc, core, p);
                     t = t.max(end);
-                    let _ = src_loc;
                 }
                 t
             }),
         );
-        });
+    }
+}
+
+impl EventHandler for Locality {
+    fn on_event(&self, sim: &mut Sim, arg: u64) {
+        let this = self.weak.upgrade().expect("locality alive");
+        match arg & EV_TAG_MASK {
+            EV_TICK => {
+                let core = (arg >> 2) as usize;
+                {
+                    let mut s = this.sched.borrow_mut();
+                    s.armed[core] = SimTime::NEVER;
+                    s.armed_ev[core] = None;
+                }
+                this.tick(sim, core);
+            }
+            EV_DELIVER => {
+                let slot = (arg >> 2) as usize;
+                let pd = this.pending.borrow_mut().take(slot);
+                this.spawn_decode(sim, pd);
+            }
+            EV_FLUSH => {
+                let core = (arg >> 33) as usize;
+                let dest = ((arg >> 2) & 0x7FFF_FFFF) as usize;
+                ParcelLayer::flush(&this, sim, core, dest);
+            }
+            _ => unreachable!("unknown event tag"),
+        }
     }
 }
 

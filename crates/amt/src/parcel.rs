@@ -53,7 +53,11 @@ mod tests {
     fn byte_accounting() {
         let p = Parcel::new(
             3,
-            vec![Bytes::from(vec![0u8; 10]), Bytes::from(vec![0u8; 100]), Bytes::from(vec![0u8; 5])],
+            vec![
+                Bytes::from(vec![0u8; 10]),
+                Bytes::from(vec![0u8; 100]),
+                Bytes::from(vec![0u8; 5]),
+            ],
         );
         assert_eq!(p.payload_bytes(), 115);
         assert_eq!(p.small_bytes(50), 15);

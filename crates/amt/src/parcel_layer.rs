@@ -144,10 +144,8 @@ impl ParcelLayer {
         parcel: Parcel,
     ) -> SimTime {
         let cost = loc.cost.clone();
-        let (immediate, threshold) = {
-            
-            loc.with_layer(|l| (l.cfg.send_immediate, l.cfg.zero_copy_threshold))
-        };
+        let (immediate, threshold) =
+            { loc.with_layer(|l| (l.cfg.send_immediate, l.cfg.zero_copy_threshold)) };
 
         if immediate {
             // Serialize directly and hand to the parcelport: no queue, no
@@ -198,11 +196,10 @@ impl ParcelLayer {
         match next {
             Next::Aggregated((t, window_end)) => {
                 // Guarantee the rider leaves even if no connection returns
-                // and no later put comes: flush when the window closes.
-                let loc2 = loc.clone();
-                sim.schedule_at(window_end, move |sim| {
-                    Self::flush(&loc2, sim, core, dest);
-                });
+                // and no later put comes: flush when the window closes
+                // (a typed event — core and destination ride in the
+                // argument word, nothing is boxed).
+                loc.schedule_flush(sim, core, dest, window_end);
                 t
             }
             Next::Starved(t) => t,
@@ -248,14 +245,14 @@ impl ParcelLayer {
 
         let loc2 = loc.clone();
         let on_sent: OnSent = Box::new(move |sim, core| {
-            Self::on_connection_returned(&loc2, sim, core, dest);
+            Self::on_connection_returned(&loc2, sim, core as usize, dest);
         });
         loc.pp_put_message(sim, core, t1, dest, msg, Some(on_sent))
     }
 
     /// Flush parcels left behind by a closed drain window (no connection
     /// outstanding to pick them up).
-    fn flush(loc: &Rc<Locality>, sim: &mut Sim, core: usize, dest: usize) {
+    pub(crate) fn flush(loc: &Rc<Locality>, sim: &mut Sim, core: usize, dest: usize) {
         let cost = loc.cost.clone();
         let now = sim.now();
         let start = loc.with_layer(|l| {
@@ -329,7 +326,8 @@ mod tests {
             self.sent.borrow_mut().push((dest, msg));
             let t = at.max(sim.now()) + 100;
             if let Some(cb) = on_sent {
-                sim.schedule_in(self.delay, move |sim| cb(sim, core));
+                let at = sim.now() + self.delay;
+                sim.schedule_once_at(at, cb, core as u64);
             }
             t
         }
@@ -345,7 +343,10 @@ mod tests {
         }
     }
 
-    fn world(cfg: ParcelLayerConfig, delay: u64) -> (Sim, Rc<Locality>, Rc<RefCell<Vec<(usize, HpxMessage)>>>) {
+    fn world(
+        cfg: ParcelLayerConfig,
+        delay: u64,
+    ) -> (Sim, Rc<Locality>, Rc<RefCell<Vec<(usize, HpxMessage)>>>) {
         let sim = Sim::new(0);
         let loc = Locality::new(
             0,

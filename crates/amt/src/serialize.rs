@@ -140,7 +140,10 @@ mod tests {
     fn parcel(action: u32, sizes: &[usize]) -> Parcel {
         Parcel::new(
             action,
-            sizes.iter().map(|&n| Bytes::from((0..n).map(|i| i as u8).collect::<Vec<_>>())).collect(),
+            sizes
+                .iter()
+                .map(|&n| Bytes::from((0..n).map(|i| i as u8).collect::<Vec<_>>()))
+                .collect(),
         )
     }
 
@@ -209,9 +212,7 @@ mod tests {
                 0u32..1000,
                 proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 0..6),
             )
-                .prop_map(|(a, args)| {
-                    Parcel::new(a, args.into_iter().map(Bytes::from).collect())
-                })
+                .prop_map(|(a, args)| Parcel::new(a, args.into_iter().map(Bytes::from).collect()))
         }
 
         proptest! {

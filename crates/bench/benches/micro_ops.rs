@@ -44,13 +44,8 @@ fn bench_cq(c: &mut Criterion) {
         let cost = CostModel::default();
         let mut sim = Sim::new(0);
         b.iter(|| {
-            let req = Request {
-                op: lci::OpKind::Recv,
-                rank: 0,
-                tag: 1,
-                data: Bytes::new(),
-                user: 7,
-            };
+            let req =
+                Request { op: lci::OpKind::Recv, rank: 0, tag: 1, data: Bytes::new(), user: 7 };
             cq.push(&mut sim, 0, &cost, req);
             cq.pop(&mut sim, 1, &cost).0
         })
@@ -64,13 +59,8 @@ fn bench_comp_signal(c: &mut Criterion) {
         b.iter_batched(
             || lci::Synchronizer::new(1, 300),
             |sync| {
-                let req = Request {
-                    op: lci::OpKind::Send,
-                    rank: 0,
-                    tag: 0,
-                    data: Bytes::new(),
-                    user: 0,
-                };
+                let req =
+                    Request { op: lci::OpKind::Send, rank: 0, tag: 0, data: Bytes::new(), user: 0 };
                 sync.signal(&mut sim, 0, &cost, req);
                 sync.test(&mut sim, 1, &cost).0
             },
@@ -88,9 +78,7 @@ fn bench_comp_signal(c: &mut Criterion) {
 fn bench_hpx_codec(c: &mut Criterion) {
     let small = vec![Parcel::new(3, vec![Bytes::from(vec![1u8; 64])]); 8];
     let large = vec![Parcel::new(4, vec![Bytes::from(vec![2u8; 32 * 1024])]); 4];
-    c.bench_function("amt/encode 8 small parcels", |b| {
-        b.iter(|| HpxMessage::encode(&small, 8192))
-    });
+    c.bench_function("amt/encode 8 small parcels", |b| b.iter(|| HpxMessage::encode(&small, 8192)));
     c.bench_function("amt/encode 4 zero-copy parcels", |b| {
         b.iter(|| HpxMessage::encode(&large, 8192))
     });
@@ -99,7 +87,8 @@ fn bench_hpx_codec(c: &mut Criterion) {
 }
 
 fn bench_header(c: &mut Criterion) {
-    let parcels = [Parcel::new(0, vec![Bytes::from(vec![1u8; 256]), Bytes::from(vec![2u8; 20_000])])];
+    let parcels =
+        [Parcel::new(0, vec![Bytes::from(vec![1u8; 256]), Bytes::from(vec![2u8; 20_000])])];
     let msg = HpxMessage::encode(&parcels, 8192);
     c.bench_function("parcelport/plan+decode header", |b| {
         b.iter(|| {

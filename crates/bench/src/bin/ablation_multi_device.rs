@@ -13,7 +13,7 @@
 //! TX contexts relieve injection contention.
 
 use bench::report::{fmt_kps, Table};
-use bench::{bench_scale, MsgRateParams, run_msgrate};
+use bench::{bench_scale, run_msgrate, MsgRateParams};
 
 fn main() {
     let scale = bench_scale();

@@ -4,8 +4,8 @@
 //! for the key configurations, with the paper's expectations alongside,
 //! so the cost model can be tuned quickly. Use `BENCH_SCALE` to shrink.
 
-use bench::{bench_scale, run_latency, run_msgrate, LatencyParams, MsgRateParams};
 use bench::report::{fmt_kps, fmt_us, Table};
+use bench::{bench_scale, run_latency, run_msgrate, LatencyParams, MsgRateParams};
 
 fn main() {
     let scale = bench_scale();

@@ -14,10 +14,7 @@ fn main() {
         let mut p = MsgRateParams::small(cfg);
         p.total_msgs = (100_000f64 * scale) as usize;
         let sweep = sweep_injection(&p, &injection_grid_8b());
-        let peak = sweep
-            .iter()
-            .map(|(_, r)| r.msg_rate)
-            .fold(0.0f64, f64::max);
+        let peak = sweep.iter().map(|(_, r)| r.msg_rate).fold(0.0f64, f64::max);
         t.row(vec![cfg.to_string(), fmt_kps(peak)]);
     }
     t.print();

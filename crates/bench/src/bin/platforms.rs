@@ -22,11 +22,7 @@ fn main() {
         e.byte_ns_milli.to_string(),
         r.byte_ns_milli.to_string(),
     ]);
-    m.row(vec![
-        "msg gap (ns)".to_string(),
-        e.msg_gap_ns.to_string(),
-        r.msg_gap_ns.to_string(),
-    ]);
+    m.row(vec!["msg gap (ns)".to_string(), e.msg_gap_ns.to_string(), r.msg_gap_ns.to_string()]);
     m.row(vec!["cores modeled".to_string(), "32 (128/4)".to_string(), "10 (40/4)".to_string()]);
     m.print();
 }

@@ -34,14 +34,7 @@ pub fn bench_scale() -> f64 {
 /// The attempted injection-rate grid of the 8 B experiments (Figs. 1–3):
 /// 100 K/s to 1.6 M/s plus unlimited (`None`).
 pub fn injection_grid_8b() -> Vec<Option<f64>> {
-    vec![
-        Some(100e3),
-        Some(200e3),
-        Some(400e3),
-        Some(800e3),
-        Some(1_600e3),
-        None,
-    ]
+    vec![Some(100e3), Some(200e3), Some(400e3), Some(800e3), Some(1_600e3), None]
 }
 
 /// The attempted injection-rate grid of the 16 KiB experiments

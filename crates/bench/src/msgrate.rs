@@ -77,6 +77,9 @@ pub struct MsgRateResult {
     pub comm_done: SimTime,
     /// Whether the run completed before the safety deadline.
     pub completed: bool,
+    /// Engine events executed during the run — paired with wall-clock
+    /// measurement by `engine_throughput` for the perf trajectory.
+    pub events_executed: u64,
 }
 
 /// Run the message-rate benchmark once.
@@ -142,13 +145,7 @@ pub fn run_msgrate(p: &MsgRateParams) -> MsgRateResult {
                 Box::new(move |sim, loc, core| {
                     let mut t = sim.now();
                     for _ in 0..batch {
-                        t = loc.send_action(
-                            sim,
-                            core,
-                            1,
-                            sink,
-                            vec![Bytes::from(vec![0u8; size])],
-                        );
+                        t = loc.send_action(sim, core, 1, sink, vec![Bytes::from(vec![0u8; size])]);
                     }
                     let n = injected.get() + batch;
                     injected.set(n);
@@ -169,11 +166,8 @@ pub fn run_msgrate(p: &MsgRateParams) -> MsgRateResult {
 
     let inj_t = injected_done_at.get();
     let comm_t = recv_done_at.get().max(inj_t);
-    let inj_rate = if inj_t > SimTime::ZERO {
-        p.total_msgs as f64 / inj_t.as_secs_f64()
-    } else {
-        0.0
-    };
+    let inj_rate =
+        if inj_t > SimTime::ZERO { p.total_msgs as f64 / inj_t.as_secs_f64() } else { 0.0 };
     let msg_rate = if done && comm_t > SimTime::ZERO {
         p.total_msgs as f64 / comm_t.as_secs_f64()
     } else if comm_t > SimTime::ZERO {
@@ -191,6 +185,7 @@ pub fn run_msgrate(p: &MsgRateParams) -> MsgRateResult {
         injection_done: inj_t,
         comm_done: comm_t,
         completed: done,
+        events_executed: world.sim.events_executed(),
     }
 }
 
@@ -235,7 +230,11 @@ mod tests {
         let r = run_msgrate(&p);
         assert!(r.completed);
         let ratio = r.achieved_injection_rate / 50_000.0;
-        assert!((0.8..1.3).contains(&ratio), "achieved {} vs attempted 50K", r.achieved_injection_rate);
+        assert!(
+            (0.8..1.3).contains(&ratio),
+            "achieved {} vs attempted 50K",
+            r.achieved_injection_rate
+        );
     }
 
     #[test]

@@ -195,7 +195,15 @@ impl Device {
             sim,
             core,
             t,
-            Packet { src: self.rank, dst, ctx: self.ctx, kind: PacketKind::Eager as u8, tag, imm: 0, data },
+            Packet {
+                src: self.rank,
+                dst,
+                ctx: self.ctx,
+                kind: PacketKind::Eager as u8,
+                tag,
+                imm: 0,
+                data,
+            },
         );
         let t = t.max(out.cpu_done);
         // NIC owns the buffer until the wire finishes serializing it.
@@ -309,7 +317,15 @@ impl Device {
                 sim,
                 core,
                 t,
-                Packet { src: self.rank, dst, ctx: self.ctx, kind: PacketKind::PutEager as u8, tag, imm: 0, data },
+                Packet {
+                    src: self.rank,
+                    dst,
+                    ctx: self.ctx,
+                    kind: PacketKind::PutEager as u8,
+                    tag,
+                    imm: 0,
+                    data,
+                },
             );
             let t = t.max(out.cpu_done);
             self.pool.put_at(out.deliver_at);
@@ -366,7 +382,15 @@ impl Device {
             sim,
             core,
             t,
-            Packet { src: self.rank, dst, ctx: self.ctx, kind: PacketKind::PutEager as u8, tag, imm: 0, data },
+            Packet {
+                src: self.rank,
+                dst,
+                ctx: self.ctx,
+                kind: PacketKind::PutEager as u8,
+                tag,
+                imm: 0,
+                data,
+            },
         );
         let t = t.max(out.cpu_done);
         self.pool.put_at(out.deliver_at);
@@ -501,11 +525,8 @@ impl Device {
                 // receiver-side op id to echo in the payload packet.
                 let state = self.rdv_send.remove(&pkt.imm).expect("RTR for unknown rendezvous op");
                 let t = t + self.cost.lci_rdv_ctrl;
-                let payload_kind = if state.one_sided {
-                    PacketKind::PutLongData
-                } else {
-                    PacketKind::LongData
-                };
+                let payload_kind =
+                    if state.one_sided { PacketKind::PutLongData } else { PacketKind::LongData };
                 let out = self.fabric.borrow_mut().send(
                     sim,
                     core,
@@ -643,7 +664,17 @@ mod tests {
         let (mut sim, _f, mut d0, mut d1, _rcq) = world(8192);
         let cq = CompQueue::new("user", 0);
         d1.post_recv(&mut sim, 0, SimTime::ZERO, 0, 42, Comp::Cq(cq.clone()), 555);
-        d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 42, Bytes::from_static(b"hello"), Comp::None, 0).unwrap();
+        d0.post_sendm(
+            &mut sim,
+            0,
+            SimTime::ZERO,
+            1,
+            42,
+            Bytes::from_static(b"hello"),
+            Comp::None,
+            0,
+        )
+        .unwrap();
         drain(&mut sim, &mut d0, &mut d1);
         let (req, _) = cq.pop(&mut sim, 0, &CostModel::default());
         let req = req.expect("receive completed");
@@ -656,7 +687,17 @@ mod tests {
     #[test]
     fn eager_unexpected_then_recv() {
         let (mut sim, _f, mut d0, mut d1, _rcq) = world(8192);
-        d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 9, Bytes::from_static(b"early"), Comp::None, 0).unwrap();
+        d0.post_sendm(
+            &mut sim,
+            0,
+            SimTime::ZERO,
+            1,
+            9,
+            Bytes::from_static(b"early"),
+            Comp::None,
+            0,
+        )
+        .unwrap();
         drain(&mut sim, &mut d0, &mut d1);
         assert_eq!(d1.unexpected_messages(), 1);
         let cq = CompQueue::new("user", 0);
@@ -673,7 +714,8 @@ mod tests {
         let cq = CompQueue::new("user", 0);
         let scq = CompQueue::new("sender", 0);
         d1.post_recv(&mut sim, 0, SimTime::ZERO, 0, 5, Comp::Cq(cq.clone()), 2);
-        d0.post_sendl(&mut sim, 0, SimTime::ZERO, 1, 5, payload.clone(), Comp::Cq(scq.clone()), 3).unwrap();
+        d0.post_sendl(&mut sim, 0, SimTime::ZERO, 1, 5, payload.clone(), Comp::Cq(scq.clone()), 3)
+            .unwrap();
         drain(&mut sim, &mut d0, &mut d1);
         let (req, _) = cq.pop(&mut sim, 0, &CostModel::default());
         let req = req.expect("long receive completed");
@@ -704,7 +746,17 @@ mod tests {
     #[test]
     fn put_eager_lands_in_remote_cq() {
         let (mut sim, _f, mut d0, mut d1, rcq) = world(8192);
-        d0.post_putva(&mut sim, 0, SimTime::ZERO, 1, 77, Bytes::from_static(b"put!"), Comp::None, 0).unwrap();
+        d0.post_putva(
+            &mut sim,
+            0,
+            SimTime::ZERO,
+            1,
+            77,
+            Bytes::from_static(b"put!"),
+            Comp::None,
+            0,
+        )
+        .unwrap();
         drain(&mut sim, &mut d0, &mut d1);
         let (req, _) = rcq.pop(&mut sim, 0, &CostModel::default());
         let req = req.expect("put delivered");
@@ -732,7 +784,17 @@ mod tests {
         let (mut sim, _f, mut d0, mut d1, _rcq) = world(8192);
         // Queue several packets so progress holds the engine for a while.
         for i in 0..4 {
-            d0.post_putva(&mut sim, 0, SimTime::ZERO, 1, i, Bytes::from(vec![0u8; 4096]), Comp::None, 0).unwrap();
+            d0.post_putva(
+                &mut sim,
+                0,
+                SimTime::ZERO,
+                1,
+                i,
+                Bytes::from(vec![0u8; 4096]),
+                Comp::None,
+                0,
+            )
+            .unwrap();
         }
         sim.run_until(SimTime::from_millis(1));
         let first = d1.progress(&mut sim, 0);
@@ -749,8 +811,9 @@ mod tests {
     #[test]
     fn sendm_rejects_oversized_payload() {
         let (mut sim, _f, mut d0, _d1, _rcq) = world(64);
-        let err =
-            d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 0, Bytes::from(vec![0u8; 65]), Comp::None, 0).unwrap_err();
+        let err = d0
+            .post_sendm(&mut sim, 0, SimTime::ZERO, 1, 0, Bytes::from(vec![0u8; 65]), Comp::None, 0)
+            .unwrap_err();
         assert_eq!(err, Error::Invalid("payload exceeds eager threshold"));
     }
 
@@ -762,14 +825,27 @@ mod tests {
             DeviceConfig { eager_threshold: 8192, packet_pool_size: 2, progress_burst: 8, ctx: 0 };
         let mut d0 = Device::new(0, fabric, sim_cost, cfg);
         let mut sim = Sim::new(0);
-        d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 0, Bytes::from_static(b"a"), Comp::None, 0).unwrap();
-        d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 1, Bytes::from_static(b"b"), Comp::None, 0).unwrap();
-        let err = d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 2, Bytes::from_static(b"c"), Comp::None, 0);
+        d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 0, Bytes::from_static(b"a"), Comp::None, 0)
+            .unwrap();
+        d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 1, Bytes::from_static(b"b"), Comp::None, 0)
+            .unwrap();
+        let err = d0.post_sendm(
+            &mut sim,
+            0,
+            SimTime::ZERO,
+            1,
+            2,
+            Bytes::from_static(b"c"),
+            Comp::None,
+            0,
+        );
         assert_eq!(err.unwrap_err(), Error::Retry);
         assert!(d0.retry_cost() > 0);
         // Buffers come back once the NIC is done with them.
         sim.run_until(SimTime::from_millis(1));
-        assert!(d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 3, Bytes::from_static(b"d"), Comp::None, 0).is_ok());
+        assert!(d0
+            .post_sendm(&mut sim, 0, SimTime::ZERO, 1, 3, Bytes::from_static(b"d"), Comp::None, 0)
+            .is_ok());
     }
 
     #[test]
@@ -783,7 +859,8 @@ mod tests {
             f.set(true);
         });
         d1.post_recv(&mut sim, 0, SimTime::ZERO, 0, 1, Comp::Handler(handler), 0);
-        d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 1, Bytes::from_static(b"hh"), Comp::None, 0).unwrap();
+        d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 1, Bytes::from_static(b"hh"), Comp::None, 0)
+            .unwrap();
         drain(&mut sim, &mut d0, &mut d1);
         sim.run();
         assert!(fired.get());
@@ -795,10 +872,12 @@ mod tests {
         let sync = crate::comp::Synchronizer::new(2, 0);
         d1.post_recv(&mut sim, 0, SimTime::ZERO, 0, 1, Comp::Sync(sync.clone()), 0);
         d1.post_recv(&mut sim, 0, SimTime::ZERO, 0, 2, Comp::Sync(sync.clone()), 0);
-        d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 1, Bytes::from_static(b"x"), Comp::None, 0).unwrap();
+        d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 1, Bytes::from_static(b"x"), Comp::None, 0)
+            .unwrap();
         let cost = CostModel::default();
         assert!(!sync.test(&mut sim, 0, &cost).0);
-        d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 2, Bytes::from_static(b"y"), Comp::None, 0).unwrap();
+        d0.post_sendm(&mut sim, 0, SimTime::ZERO, 1, 2, Bytes::from_static(b"y"), Comp::None, 0)
+            .unwrap();
         drain(&mut sim, &mut d0, &mut d1);
         assert!(sync.test(&mut sim, 0, &cost).0);
         assert_eq!(sync.take_items().len(), 2);

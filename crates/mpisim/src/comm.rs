@@ -282,7 +282,13 @@ impl Comm {
     }
 
     /// `MPI_Test`: drive progress, then report whether `req` completed.
-    pub fn test(&mut self, sim: &mut Sim, core: usize, at: SimTime, req: &Request) -> (bool, SimTime) {
+    pub fn test(
+        &mut self,
+        sim: &mut Sim,
+        core: usize,
+        at: SimTime,
+        req: &Request,
+    ) -> (bool, SimTime) {
         self.progress_locked(sim, core);
         let hold = self.cost.mpi_call + self.take_deferred() + self.progress_hold();
         let start = at.max(sim.now());
@@ -349,37 +355,38 @@ impl Comm {
             kind::RTS => {
                 self.deferred_scan_ns += self.cost.mpi_rndv;
                 match self.match_posted(pkt.src, pkt.tag) {
-                Some(req) => {
-                    let op = self.next_op;
-                    self.next_op += 1;
-                    self.rdv_recv.insert(op, req);
-                    let now = sim.now();
-                    self.fabric.borrow_mut().send(
-                        sim,
-                        core,
-                        now,
-                        Packet {
-                            src: self.rank,
-                            dst: pkt.src,
-                            ctx: 0,
-                            kind: kind::RTR,
-                            tag: op,
-                            imm: pkt.imm,
+                    Some(req) => {
+                        let op = self.next_op;
+                        self.next_op += 1;
+                        self.rdv_recv.insert(op, req);
+                        let now = sim.now();
+                        self.fabric.borrow_mut().send(
+                            sim,
+                            core,
+                            now,
+                            Packet {
+                                src: self.rank,
+                                dst: pkt.src,
+                                ctx: 0,
+                                kind: kind::RTR,
+                                tag: op,
+                                imm: pkt.imm,
+                                data: Bytes::new(),
+                            },
+                        );
+                    }
+                    None => {
+                        sim.stats.bump("mpi.unexpected_rts");
+                        self.unexpected.push(UnexpMsg {
+                            src: pkt.src,
+                            tag: pkt.tag,
                             data: Bytes::new(),
-                        },
-                    );
+                            rts: true,
+                            imm: pkt.imm,
+                        });
+                    }
                 }
-                None => {
-                    sim.stats.bump("mpi.unexpected_rts");
-                    self.unexpected.push(UnexpMsg {
-                        src: pkt.src,
-                        tag: pkt.tag,
-                        data: Bytes::new(),
-                        rts: true,
-                        imm: pkt.imm,
-                    });
-                }
-            }},
+            }
             kind::RTR => {
                 self.deferred_scan_ns += self.cost.mpi_rndv;
                 let s = self.rdv_send.remove(&pkt.imm).expect("RTR for unknown op");

@@ -183,8 +183,8 @@ impl Fabric {
         sim.stats.bump("net.sent");
 
         let chan = self.chan(src, dst, ctx);
-        let dup = self.fault.duplicate_prob > 0.0
-            && sim.rng.gen_bool(self.fault.duplicate_prob.min(1.0));
+        let dup =
+            self.fault.duplicate_prob > 0.0 && sim.rng.gen_bool(self.fault.duplicate_prob.min(1.0));
         let reorder =
             self.fault.reorder_prob > 0.0 && sim.rng.gen_bool(self.fault.reorder_prob.min(1.0));
 

@@ -81,14 +81,16 @@ pub struct OctoResult {
     pub mass_ok: bool,
     /// Leaves in the tree (workload size indicator).
     pub leaves: usize,
+    /// Engine events executed during the run — paired with wall-clock
+    /// measurement by `engine_throughput` for the perf trajectory.
+    pub events_executed: u64,
 }
 
 /// Run Octo-Tiger-mini once.
 pub fn run_octotiger(p: &OctoParams) -> OctoResult {
     let tree = Rc::new(Octree::build(p.level));
     let part = Rc::new(partition(&tree, p.localities));
-    let states =
-        AppState::build_all(tree.clone(), part, p.localities, p.steps, p.compute.clone());
+    let states = AppState::build_all(tree.clone(), part, p.localities, p.steps, p.compute.clone());
 
     let mut registry = ActionRegistry::new();
     let actions_out = Rc::new(RefCell::new(None));
@@ -126,9 +128,8 @@ pub fn run_octotiger(p: &OctoParams) -> OctoResult {
 
     let st0 = states[0].clone();
     let target = p.steps;
-    let completed = world.run_while(600_000_000_000, move |_| {
-        st0.borrow().steps_completed < target
-    });
+    let completed =
+        world.run_while(600_000_000_000, move |_| st0.borrow().steps_completed < target);
 
     if std::env::var("OCTO_DUMP").is_ok() {
         eprintln!("--- octo stats ({}) ---", p.config);
@@ -136,8 +137,7 @@ pub fn run_octotiger(p: &OctoParams) -> OctoResult {
     }
     let total = states[0].borrow().finished_at;
     let total = if total == SimTime::ZERO { world.sim.now() } else { total };
-    let steps_per_sec =
-        if completed { p.steps as f64 / total.as_secs_f64() } else { 0.0 };
+    let steps_per_sec = if completed { p.steps as f64 / total.as_secs_f64() } else { 0.0 };
     let mass_ok = states.iter().all(|s| s.borrow().mass_ok);
     OctoResult {
         steps_per_sec,
@@ -145,6 +145,7 @@ pub fn run_octotiger(p: &OctoParams) -> OctoResult {
         completed,
         mass_ok,
         leaves: tree.leaves().len(),
+        events_executed: world.sim.events_executed(),
     }
 }
 

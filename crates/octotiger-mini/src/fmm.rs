@@ -216,12 +216,10 @@ pub fn register_actions(
                     let center = tree.node(leaf).center;
                     let parent = tree.node(leaf).parent;
                     let payload = encode_m2m(parent, mass, center);
-                    t = invoke(sim, loc, core, part.owner(parent), acts.m2m, vec![payload])
-                        .max(t);
+                    t = invoke(sim, loc, core, part.owner(parent), acts.m2m, vec![payload]).max(t);
                     for nb in nbrs {
                         let payload = encode_m2m(nb, mass, center);
-                        t = invoke(sim, loc, core, part.owner(nb), acts.m2l, vec![payload])
-                            .max(t);
+                        t = invoke(sim, loc, core, part.owner(nb), acts.m2l, vec![payload]).max(t);
                         if ghost_bytes > 0 {
                             // Hydro ghost slab: the leaf's boundary data
                             // for this neighbor (deterministic fill so
@@ -483,10 +481,8 @@ impl AppState {
 
     /// Diagnostic snapshot of the current step's progress.
     pub fn debug_summary(&self) -> String {
-        let pend_children: usize =
-            self.step.pending_children.values().filter(|e| e.0 > 0).count();
-        let pend_nbr: usize =
-            self.step.pending_neighbors.values().filter(|&&n| n > 0).count();
+        let pend_children: usize = self.step.pending_children.values().filter(|e| e.0 > 0).count();
+        let pend_nbr: usize = self.step.pending_neighbors.values().filter(|&&n| n > 0).count();
         let pend_ghost: usize = self.step.pending_ghosts.values().filter(|&&n| n > 0).count();
         let _ = pend_ghost;
         let missing_l2l = self.step.got_l2l.values().filter(|&&g| !g).count();

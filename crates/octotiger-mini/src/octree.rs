@@ -44,14 +44,12 @@ pub struct Octree {
 /// either star center lies within the star's shell, padded by the cell
 /// diagonal.
 fn refine(center: [f64; 3], half: f64) -> bool {
-    const STARS: [([f64; 3], f64); 2] =
-        [([0.35, 0.5, 0.5], 0.18), ([0.68, 0.52, 0.5], 0.12)];
+    const STARS: [([f64; 3], f64); 2] = [([0.35, 0.5, 0.5], 0.18), ([0.68, 0.52, 0.5], 0.12)];
     let diag = half * 3f64.sqrt();
     STARS.iter().any(|(c, r)| {
-        let d = ((center[0] - c[0]).powi(2)
-            + (center[1] - c[1]).powi(2)
-            + (center[2] - c[2]).powi(2))
-        .sqrt();
+        let d =
+            ((center[0] - c[0]).powi(2) + (center[1] - c[1]).powi(2) + (center[2] - c[2]).powi(2))
+                .sqrt();
         (d - r).abs() <= diag
     })
 }
@@ -147,8 +145,7 @@ impl Octree {
             .filter(|&o| o != id && self.nodes[o].level == me.level)
             .filter(|&o| {
                 let c = &self.nodes[o].center;
-                let d: Vec<f64> =
-                    (0..3).map(|k| (c[k] - me.center[k]).abs()).collect();
+                let d: Vec<f64> = (0..3).map(|k| (c[k] - me.center[k]).abs()).collect();
                 let on_axis = d.iter().filter(|&&x| (x - w).abs() < eps).count();
                 let zeros = d.iter().filter(|&&x| x < eps).count();
                 on_axis == 1 && zeros == 2
@@ -221,10 +218,7 @@ mod tests {
             let nb = t.leaf_neighbors(l);
             assert!(nb.len() <= 6);
             for &o in &nb {
-                assert!(
-                    t.leaf_neighbors(o).contains(&l),
-                    "neighbor relation must be symmetric"
-                );
+                assert!(t.leaf_neighbors(o).contains(&l), "neighbor relation must be symmetric");
             }
         }
     }

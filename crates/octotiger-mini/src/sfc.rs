@@ -113,9 +113,9 @@ mod tests {
         let t = Octree::build(4);
         let k = 4;
         let p = partition(&t, k);
-        let total: usize = (0..k).map(|loc| {
-            p.nodes_of(loc).iter().filter(|&&n| t.node(n).is_leaf()).count()
-        }).sum();
+        let total: usize = (0..k)
+            .map(|loc| p.nodes_of(loc).iter().filter(|&&n| t.node(n).is_leaf()).count())
+            .sum();
         assert_eq!(total, t.leaves().len());
     }
 

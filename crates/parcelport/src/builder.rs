@@ -220,14 +220,12 @@ mod tests {
         for _ in 0..n {
             let p = payload.clone();
             let loc0 = world.locality(0).clone();
-            let task: amt::Task = Box::new(move |sim, loc, core| {
-                loc.send_action(sim, core, 1, action, vec![p])
-            });
+            let task: amt::Task =
+                Box::new(move |sim, loc, core| loc.send_action(sim, core, 1, action, vec![p]));
             loc0.spawn(&mut world.sim, 0, task);
         }
         let h2 = hits.clone();
-        let finished =
-            world.run_while(10_000_000_000, move |_s| h2.get() < n);
+        let finished = world.run_while(10_000_000_000, move |_s| h2.get() < n);
         assert!(finished, "{ppname}: only {}/{} actions ran", hits.get(), n);
         assert!(bytes_ok.get(), "{ppname}: payload corrupted");
     }

@@ -279,8 +279,7 @@ mod tests {
     fn paper_set_is_complete_and_unique() {
         let set = PpConfig::paper_set();
         assert_eq!(set.len(), 11);
-        let names: std::collections::HashSet<String> =
-            set.iter().map(|c| c.to_string()).collect();
+        let names: std::collections::HashSet<String> = set.iter().map(|c| c.to_string()).collect();
         assert_eq!(names.len(), 11);
         assert!(names.contains("lci_psr_cq_pin"));
         assert!(names.contains("mpi"));

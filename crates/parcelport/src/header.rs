@@ -246,7 +246,11 @@ impl MessageAssembly {
         HpxMessage {
             non_zero_copy: self.nzc.expect("nzc present"),
             zero_copy: self.zc.into_iter().map(|c| c.expect("zc present")).collect(),
-            transmission: if self.has_trans { Some(self.trans.expect("trans present")) } else { None },
+            transmission: if self.has_trans {
+                Some(self.trans.expect("trans present"))
+            } else {
+                None
+            },
         }
     }
 }
@@ -338,8 +342,7 @@ mod tests {
 
     #[test]
     fn tag_offsets_are_distinct() {
-        let parts =
-            [PartId::Nzc, PartId::Trans, PartId::Zc(0), PartId::Zc(1), PartId::Zc(7)];
+        let parts = [PartId::Nzc, PartId::Trans, PartId::Zc(0), PartId::Zc(1), PartId::Zc(7)];
         let offsets: std::collections::HashSet<u64> =
             parts.iter().map(|p| p.tag_offset()).collect();
         assert_eq!(offsets.len(), parts.len());

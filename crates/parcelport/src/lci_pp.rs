@@ -118,11 +118,8 @@ impl LciParcelport {
             rcqs.push(rcq);
         }
         let ccq = CompQueue::new("lci_pp.ccq", transfer);
-        let name = if devs.len() > 1 {
-            format!("{}_d{}", cfg, devs.len())
-        } else {
-            cfg.to_string()
-        };
+        let name =
+            if devs.len() > 1 { format!("{}_d{}", cfg, devs.len()) } else { cfg.to_string() };
         LciParcelport {
             devs,
             cfg,
@@ -239,8 +236,16 @@ impl LciParcelport {
                     }
                     Protocol::SendRecv => {
                         t = t + self.cost.pp_header + self.cost.memcpy(header.len());
-                        self.devs[di]
-                            .post_sendm(sim, core, t, dest, TAG_HEADER, header, Comp::None, 0)
+                        self.devs[di].post_sendm(
+                            sim,
+                            core,
+                            t,
+                            dest,
+                            TAG_HEADER,
+                            header,
+                            Comp::None,
+                            0,
+                        )
                     }
                 };
                 match res {
@@ -296,7 +301,7 @@ impl LciParcelport {
                     // All parts out and none awaiting: connection done.
                     let conn = self.send_conns.remove(&id).expect("exists");
                     if let Some(cb) = conn.on_sent {
-                        sim.schedule_at(t, move |sim| cb(sim, core));
+                        sim.schedule_once_at(t, cb, core as u64);
                     }
                     sim.stats.bump("lci_pp.send_conn_done");
                     return t;

@@ -197,7 +197,7 @@ impl MpiParcelport {
                     // Connection complete: fire on_sent from a fresh event.
                     let conn = &mut self.send_conns[idx];
                     if let Some(cb) = conn.on_sent.take() {
-                        sim.schedule_at(t, move |sim| cb(sim, core));
+                        sim.schedule_once_at(t, cb, core as u64);
                     }
                     sim.stats.bump("mpi_pp.send_conn_done");
                     conn.parts.clear();
@@ -209,7 +209,14 @@ impl MpiParcelport {
         }
     }
 
-    fn handle_header(&mut self, sim: &mut Sim, core: usize, src: usize, header: Bytes, t: SimTime) -> SimTime {
+    fn handle_header(
+        &mut self,
+        sim: &mut Sim,
+        core: usize,
+        src: usize,
+        header: Bytes,
+        t: SimTime,
+    ) -> SimTime {
         let t = t + self.cost.pp_header + self.cost.pp_connection;
         let info = HeaderInfo::decode(&header);
         let asm = MessageAssembly::new(&info);
@@ -261,7 +268,13 @@ impl MpiParcelport {
     }
 
     /// Advance one receiver connection; returns (advanced, new t).
-    fn pump_recv(&mut self, sim: &mut Sim, core: usize, idx: usize, mut t: SimTime) -> (bool, SimTime) {
+    fn pump_recv(
+        &mut self,
+        sim: &mut Sim,
+        core: usize,
+        idx: usize,
+        mut t: SimTime,
+    ) -> (bool, SimTime) {
         let done = {
             let conn = &mut self.recv_conns[idx];
             match &conn.outstanding {
@@ -383,10 +396,8 @@ impl Parcelport for MpiParcelport {
                 self.rr_cursor = self.rr_cursor.wrapping_add(1);
                 if cursor < self.send_conns.len() {
                     let before = self.send_conns[cursor].parts.len();
-                    let outstanding_done = self.send_conns[cursor]
-                        .outstanding
-                        .as_ref()
-                        .is_none_or(|r| r.is_done());
+                    let outstanding_done =
+                        self.send_conns[cursor].outstanding.as_ref().is_none_or(|r| r.is_done());
                     if outstanding_done {
                         t = self.pump_send(sim, core, cursor, t);
                         if self.send_conns[cursor].parts.len() != before
@@ -404,8 +415,7 @@ impl Parcelport for MpiParcelport {
                 } else {
                     let idx = cursor - self.send_conns.len();
                     if idx < self.recv_conns.len() {
-                        let req =
-                            self.recv_conns[idx].outstanding.as_ref().map(|(_, r)| r.clone());
+                        let req = self.recv_conns[idx].outstanding.as_ref().map(|(_, r)| r.clone());
                         if let Some(req) = req {
                             if !req.is_done() {
                                 let (_, t2) = self.comm.test(sim, core, t, &req);
@@ -435,11 +445,8 @@ impl Parcelport for MpiParcelport {
         // hint so the simulation can quiesce.
         let now = sim.now();
         let hot = now.since(self.last_activity) < 200_000; // 200us epoch
-        let retry_at = if hot {
-            Some(t + self.cost.idle_poll.max(400))
-        } else {
-            self.comm.next_arrival()
-        };
+        let retry_at =
+            if hot { Some(t + self.cost.idle_poll.max(400)) } else { self.comm.next_arrival() };
         BgOutcome { did_work, cpu_done: t, retry_at, wake_workers: false, completions: 0 }
     }
 

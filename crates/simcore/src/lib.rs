@@ -30,6 +30,7 @@
 //! engine are real, synchronously-executed Rust — only **time** is virtual.
 
 pub mod cost;
+pub mod event;
 pub mod lock;
 pub mod resource;
 pub mod sim;
@@ -38,9 +39,10 @@ pub mod time;
 pub mod trace;
 
 pub use cost::CostModel;
+pub use event::{ClosureFn, EventHandler, EventId, HandlerId, OnceFn};
 pub use lock::{SimLock, SimTryLock, TryAcquire};
 pub use resource::SimResource;
-pub use sim::{EventId, Sim};
+pub use sim::Sim;
 pub use stats::Stats;
 pub use time::SimTime;
 pub use trace::{Span, Tracer};

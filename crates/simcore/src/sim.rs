@@ -1,50 +1,27 @@
-//! The event loop: a deterministic time-ordered heap of scheduled closures.
+//! The event loop: a deterministic time-ordered queue of typed events.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::rc::Rc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::event::{EventHandler, EventId, EventKind, EventQueue, HandlerId, HandlerTable, OnceFn};
 use crate::stats::Stats;
 use crate::time::SimTime;
 
-/// Identifier of a scheduled event (its insertion sequence number).
-///
-/// Events with equal timestamps fire in insertion order, which makes every
-/// run bit-for-bit reproducible for a given seed and workload.
-pub type EventId = u64;
-
-type EventFn = Box<dyn FnOnce(&mut Sim)>;
-
-struct Entry {
-    at: SimTime,
-    seq: EventId,
-    f: EventFn,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-/// The discrete-event simulator: virtual clock + event heap + seeded RNG +
+/// The discrete-event simulator: virtual clock + event queue + seeded RNG +
 /// named statistic counters.
 ///
+/// Events are ordered by `(time, sequence-number)` — equal timestamps fire
+/// in scheduling order — which makes every run bit-for-bit reproducible
+/// for a given seed and workload. The queue is an indexed four-ary
+/// min-heap (see [`crate::event`]), so pending events can be
+/// [cancelled](Sim::cancel) or [rescheduled](Sim::reschedule) in O(log n)
+/// instead of firing as dead no-ops.
+///
 /// Components live outside the `Sim` (usually behind `Rc<RefCell<_>>`) and
-/// communicate by scheduling closures:
+/// communicate by scheduling events. The general-purpose form is a boxed
+/// closure:
 ///
 /// ```
 /// use simcore::{Sim, SimTime};
@@ -59,10 +36,15 @@ impl Ord for Entry {
 /// assert_eq!(hits.get(), 1);
 /// assert_eq!(sim.now(), SimTime::from_nanos(1_000));
 /// ```
+///
+/// Hot paths (core ticks, packet deliveries) instead register an
+/// [`EventHandler`] once and schedule `(handler, arg)` pairs with
+/// [`Sim::schedule_event_at`] — no allocation per event.
 pub struct Sim {
     now: SimTime,
-    seq: EventId,
-    heap: BinaryHeap<Reverse<Entry>>,
+    seq: u64,
+    queue: EventQueue,
+    handlers: HandlerTable,
     /// Deterministic RNG for any randomized model decisions.
     pub rng: StdRng,
     /// Named counters collected during the run.
@@ -76,7 +58,8 @@ impl Sim {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            queue: EventQueue::new(),
+            handlers: HandlerTable::new(),
             rng: StdRng::seed_from_u64(seed),
             stats: Stats::new(),
             executed: 0,
@@ -98,17 +81,28 @@ impl Sim {
     /// Number of events still pending.
     #[inline]
     pub fn events_pending(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
+    }
+
+    #[inline]
+    fn next_seq(&mut self) -> u64 {
+        let seq = self.seq;
+        self.seq += 1;
+        seq
+    }
+
+    /// Register a typed-event handler; the returned id is valid for this
+    /// simulator's whole lifetime.
+    pub fn register_handler(&mut self, h: Rc<dyn EventHandler>) -> HandlerId {
+        self.handlers.register(h)
     }
 
     /// Schedule `f` to run at absolute virtual time `at` (clamped to `now`
     /// if it is in the past). Returns the event's id.
     pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: SimTime, f: F) -> EventId {
         let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, f: Box::new(f) }));
-        seq
+        let seq = self.next_seq();
+        self.queue.insert(at, seq, EventKind::Closure(Box::new(f)))
     }
 
     /// Schedule `f` to run `delay_ns` nanoseconds from now.
@@ -116,34 +110,94 @@ impl Sim {
         self.schedule_at(self.now + delay_ns, f)
     }
 
-    /// Run a single event; returns `false` if the heap is empty.
+    /// Schedule a typed event for `handler` at `at` (clamped to `now`).
+    /// This is the allocation-free hot path: the event is two words in a
+    /// reused slab slot.
+    pub fn schedule_event_at(&mut self, at: SimTime, handler: HandlerId, arg: u64) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq();
+        self.queue.insert(at, seq, EventKind::Handler { handler, arg })
+    }
+
+    /// Schedule a typed event for `handler`, `delay_ns` from now.
+    pub fn schedule_event_in(&mut self, delay_ns: u64, handler: HandlerId, arg: u64) -> EventId {
+        self.schedule_event_at(self.now + delay_ns, handler, arg)
+    }
+
+    /// Schedule an already-boxed one-shot callback at `at` (clamped to
+    /// `now`). The box is moved, not re-wrapped: scheduling allocates
+    /// nothing new.
+    pub fn schedule_once_at(&mut self, at: SimTime, f: OnceFn, arg: u64) -> EventId {
+        let at = at.max(self.now);
+        let seq = self.next_seq();
+        self.queue.insert(at, seq, EventKind::Once { f, arg })
+    }
+
+    /// Cancel a pending event. Returns `false` if the handle is stale
+    /// (the event already fired or was cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.queue.cancel(id)
+    }
+
+    /// Move a pending event to fire at `at` (clamped to `now`). The event
+    /// is re-sequenced as if newly scheduled, so ties at the new time fire
+    /// after events already scheduled there — identical ordering to
+    /// cancelling and scheduling afresh, without the churn. Returns
+    /// `false` on a stale handle.
+    pub fn reschedule(&mut self, id: EventId, at: SimTime) -> bool {
+        let at = at.max(self.now);
+        let seq = self.next_seq();
+        self.queue.reschedule(id, at, seq)
+    }
+
+    /// Whether `id` refers to an event still pending.
+    pub fn is_scheduled(&self, id: EventId) -> bool {
+        self.queue.contains(id)
+    }
+
+    #[inline]
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Closure(f) => f(self),
+            EventKind::Handler { handler, arg } => {
+                let h = self.handlers.get(handler);
+                h.on_event(self, arg);
+            }
+            EventKind::Once { f, arg } => f(self, arg),
+            EventKind::Vacant => unreachable!("vacant slot in the heap"),
+        }
+    }
+
+    /// Run a single event; returns `false` if the queue is empty.
     pub fn step(&mut self) -> bool {
-        match self.heap.pop() {
-            Some(Reverse(e)) => {
-                debug_assert!(e.at >= self.now, "time must not go backwards");
-                self.now = e.at;
+        match self.queue.pop() {
+            Some((at, kind)) => {
+                debug_assert!(at >= self.now, "time must not go backwards");
+                self.now = at;
                 self.executed += 1;
-                (e.f)(self);
+                self.dispatch(kind);
                 true
             }
             None => false,
         }
     }
 
-    /// Run until the event heap is empty.
+    /// Run until the event queue is empty.
     pub fn run(&mut self) {
         while self.step() {}
     }
 
     /// Run until the clock reaches `deadline` (events at exactly `deadline`
-    /// still fire) or the heap empties. Returns the number of events run.
+    /// still fire) or the queue empties. Returns the number of events run.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
         let mut n = 0;
-        while let Some(Reverse(head)) = self.heap.peek() {
-            if head.at > deadline {
-                break;
-            }
-            self.step();
+        // One root comparison per event: the pop is conditional on the
+        // deadline rather than a peek followed by a separate pop.
+        while let Some((at, kind)) = self.queue.pop_if(deadline) {
+            debug_assert!(at >= self.now, "time must not go backwards");
+            self.now = at;
+            self.executed += 1;
+            self.dispatch(kind);
             n += 1;
         }
         if self.now < deadline {
@@ -152,22 +206,27 @@ impl Sim {
         n
     }
 
-    /// Run until `pred` returns true (checked after every event) or the heap
-    /// empties. Returns whether the predicate was satisfied.
+    /// Run until `pred` returns true (checked after every event) or the
+    /// queue empties. Returns whether the predicate was satisfied.
     pub fn run_while<P: FnMut(&Sim) -> bool>(&mut self, mut pending: P) -> bool {
-        while pending(self) {
-            if !self.step() {
-                return false;
+        loop {
+            // Empty-queue short-circuit first: the emptiness test is one
+            // load, the predicate is an arbitrary user closure.
+            if self.queue.is_empty() {
+                return !pending(self);
             }
+            if !pending(self) {
+                return true;
+            }
+            self.step();
         }
-        true
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::RefCell;
+    use std::cell::{Cell, RefCell};
     use std::rc::Rc;
 
     #[test]
@@ -251,5 +310,112 @@ mod tests {
         let xa: u64 = a.rng.gen();
         let xb: u64 = b.rng.gen();
         assert_eq!(xa, xb);
+    }
+
+    /// Records the argument words of every event it receives.
+    struct Recorder {
+        seen: RefCell<Vec<(SimTime, u64)>>,
+    }
+
+    impl EventHandler for Recorder {
+        fn on_event(&self, sim: &mut Sim, arg: u64) {
+            self.seen.borrow_mut().push((sim.now(), arg));
+        }
+    }
+
+    #[test]
+    fn handler_events_fire_in_order_with_closures() {
+        let mut sim = Sim::new(0);
+        let rec = Rc::new(Recorder { seen: RefCell::new(Vec::new()) });
+        let h = sim.register_handler(rec.clone());
+        let order = Rc::new(RefCell::new(Vec::new()));
+        sim.schedule_event_in(20, h, 1);
+        let o = order.clone();
+        sim.schedule_in(10, move |_| o.borrow_mut().push('c'));
+        sim.schedule_event_in(10, h, 2); // same time as the closure: after it
+        sim.run();
+        assert_eq!(*order.borrow(), vec!['c']);
+        assert_eq!(
+            *rec.seen.borrow(),
+            vec![(SimTime::from_nanos(10), 2), (SimTime::from_nanos(20), 1)]
+        );
+    }
+
+    #[test]
+    fn once_events_receive_their_argument() {
+        let mut sim = Sim::new(0);
+        let got = Rc::new(Cell::new(0u64));
+        let g = got.clone();
+        let f: crate::event::OnceFn = Box::new(move |_sim, arg| g.set(arg));
+        sim.schedule_once_at(SimTime::from_nanos(5), f, 77);
+        sim.run();
+        assert_eq!(got.get(), 77);
+    }
+
+    #[test]
+    fn cancel_prevents_firing() {
+        let mut sim = Sim::new(0);
+        let rec = Rc::new(Recorder { seen: RefCell::new(Vec::new()) });
+        let h = sim.register_handler(rec.clone());
+        let a = sim.schedule_event_in(10, h, 1);
+        sim.schedule_event_in(20, h, 2);
+        assert!(sim.is_scheduled(a));
+        assert!(sim.cancel(a));
+        assert!(!sim.is_scheduled(a));
+        assert!(!sim.cancel(a), "double cancel is a stale no-op");
+        sim.run();
+        assert_eq!(*rec.seen.borrow(), vec![(SimTime::from_nanos(20), 2)]);
+        assert_eq!(sim.events_executed(), 1, "cancelled events never execute");
+    }
+
+    #[test]
+    fn reschedule_matches_cancel_plus_fresh_schedule_ordering() {
+        // Two sims: one reschedules, the other cancels + schedules anew.
+        // Tie-breaking at the destination time must be identical.
+        let run = |reschedule: bool| {
+            let mut sim = Sim::new(0);
+            let rec = Rc::new(Recorder { seen: RefCell::new(Vec::new()) });
+            let h = sim.register_handler(rec.clone());
+            let a = sim.schedule_event_in(100, h, 1);
+            sim.schedule_event_in(40, h, 2); // pre-existing event at t=40
+            if reschedule {
+                assert!(sim.reschedule(a, SimTime::from_nanos(40)));
+            } else {
+                assert!(sim.cancel(a));
+                sim.schedule_event_in(40, h, 1);
+            }
+            sim.run();
+            let seen = rec.seen.borrow().clone();
+            seen
+        };
+        assert_eq!(run(true), run(false));
+        assert_eq!(
+            run(true),
+            vec![(SimTime::from_nanos(40), 2), (SimTime::from_nanos(40), 1)],
+            "rescheduled event is re-sequenced behind existing ties"
+        );
+    }
+
+    #[test]
+    fn reschedule_into_the_past_clamps_to_now() {
+        let mut sim = Sim::new(0);
+        let rec = Rc::new(Recorder { seen: RefCell::new(Vec::new()) });
+        let h = sim.register_handler(rec.clone());
+        sim.schedule_in(50, move |_| {});
+        let a = sim.schedule_event_in(100, h, 9);
+        sim.run_until(SimTime::from_nanos(60));
+        assert!(sim.reschedule(a, SimTime::from_nanos(10)));
+        sim.run();
+        assert_eq!(*rec.seen.borrow(), vec![(SimTime::from_nanos(60), 9)]);
+    }
+
+    #[test]
+    fn run_while_short_circuits_on_empty_queue() {
+        let mut sim = Sim::new(0);
+        // Predicate still true when the queue drains: not satisfied.
+        sim.schedule_in(10, |_| {});
+        assert!(!sim.run_while(|_| true));
+        // Predicate already false on an empty queue: satisfied.
+        assert!(sim.run_while(|_| false));
     }
 }

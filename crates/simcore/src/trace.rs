@@ -38,7 +38,13 @@ impl Tracer {
     }
 
     /// Record a span on `track`.
-    pub fn span(&mut self, track: impl Into<String>, label: &'static str, start: SimTime, end: SimTime) {
+    pub fn span(
+        &mut self,
+        track: impl Into<String>,
+        label: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
         debug_assert!(end >= start, "span must not be negative");
         if end.since(start) < self.min_span_ns {
             return;

@@ -57,13 +57,7 @@ fn main() {
             // "earlier" locality (irregular target pattern).
             let victim = ((k * 7 + 3) % LOCALITIES as u64) as usize;
             if victim != loc.id {
-                loc.send_action(
-                    sim,
-                    core,
-                    victim,
-                    update,
-                    vec![Bytes::from(vec![k as u8; BLOCK])],
-                );
+                loc.send_action(sim, core, victim, update, vec![Bytes::from(vec![k as u8; BLOCK])]);
             }
             t
         });

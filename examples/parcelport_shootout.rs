@@ -4,8 +4,8 @@
 //!
 //! Run with: `cargo run --release --example parcelport_shootout`
 
-use hpx_lci_repro::parcelport::PpConfig;
 use bench_workloads::{quick_latency, quick_rate};
+use hpx_lci_repro::parcelport::PpConfig;
 
 /// Minimal inline re-implementations of the bench crate's workloads so
 /// the example is self-contained against the public API.
@@ -104,7 +104,7 @@ fn main() {
         let rate16 = quick_rate(cfg, 16 * 1024, 4_000);
         let lat = quick_latency(cfg, 8, 200);
         println!("{:<20} {:>12.1} {:>12.1} {:>12.2}", cfg.to_string(), rate8, rate16, lat);
-        if best.as_ref().map_or(true, |(_, b)| rate8 > *b) {
+        if best.as_ref().is_none_or(|(_, b)| rate8 > *b) {
             best = Some((cfg.to_string(), rate8));
         }
     }

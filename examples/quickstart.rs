@@ -7,9 +7,9 @@
 use std::cell::Cell;
 use std::rc::Rc;
 
+use bytes::Bytes;
 use hpx_lci_repro::amt::action::ActionRegistry;
 use hpx_lci_repro::parcelport::{build_world, WorldConfig};
-use bytes::Bytes;
 
 fn main() {
     // 1. Register actions — like HPX, every locality shares the registry.

@@ -1,4 +1,8 @@
 //! Shared helpers for the cross-crate integration tests.
+//!
+//! Compiled separately into every integration-test target; not every
+//! target uses every helper, so per-target dead-code analysis is noise.
+#![allow(dead_code)]
 
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;

@@ -76,7 +76,13 @@ fn pool_exhaustion_recovers() {
             Box::new(move |sim, loc, core| {
                 let mut t = sim.now();
                 for _ in 0..100 {
-                    t = loc.send_action(sim, core, 1, sink, vec![Bytes::from(vec![chunk as u8; 8])]);
+                    t = loc.send_action(
+                        sim,
+                        core,
+                        1,
+                        sink,
+                        vec![Bytes::from(vec![chunk as u8; 8])],
+                    );
                 }
                 t
             }),

@@ -1,0 +1,83 @@
+//! Golden traces: end-to-end runs pinned to exact virtual timelines.
+//!
+//! The end times and payload digests below were captured from the
+//! pre-rewrite engine (`BinaryHeap` of boxed closures) and must survive
+//! any event-engine change bit-for-bit: the typed-event/indexed-heap
+//! engine is required to be *observationally identical*, not merely
+//! deterministic. If an engine change moves any of these numbers, it
+//! changed simulation semantics — that is a bug in the change, not a
+//! reason to re-pin (the one sanctioned exception: `events_executed`,
+//! which dropped when cancel/reschedule eliminated the old engine's
+//! stale no-op events; those counts are pinned to the current engine).
+
+mod common;
+
+use common::send_all;
+use hpx_lci_repro::parcelport::WorldConfig;
+
+fn payloads() -> Vec<Vec<u8>> {
+    (0..40).map(|i| vec![i as u8; 8 + (i * 37) % 20_000]).collect()
+}
+
+fn fnv_u64s(xs: &[u64]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &x in xs {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// `(config, end time ns, events executed, delivery-digest)`.
+///
+/// End times and digests are the seed engine's; executed counts are the
+/// current engine's (one stale `mpi` tick event became a reschedule:
+/// 358 -> 357; the LCI configs never had stale events in this workload).
+const GOLDEN: &[(&str, u64, u64, u64)] = &[
+    ("lci_psr_cq_pin_i", 72_051, 176, 0x7062299104bea1c2),
+    ("mpi", 164_593, 357, 0xe1fad10c31e16f9a),
+    ("lci_sr_sy_mt_i", 134_234, 286, 0x6059481a96439b4a),
+];
+
+#[test]
+fn two_node_traces_match_pre_rewrite_engine() {
+    for &(name, end_ns, executed, digest) in GOLDEN {
+        let mut cfg = WorldConfig::two_nodes(name.parse().unwrap(), 8);
+        cfg.seed = 11;
+        let d = send_all(cfg, payloads());
+        assert_eq!(d.delivered, 40, "{name}: lost deliveries");
+        assert_eq!(
+            d.world.sim.now().as_nanos(),
+            end_ns,
+            "{name}: virtual end time moved — engine changed simulation semantics"
+        );
+        assert_eq!(
+            fnv_u64s(&d.checksums),
+            digest,
+            "{name}: delivery order/content moved — engine changed simulation semantics"
+        );
+        assert_eq!(
+            d.world.sim.events_executed(),
+            executed,
+            "{name}: event count moved (legitimate only if stale-event elimination changed)"
+        );
+    }
+}
+
+#[test]
+fn octotiger_trace_matches_pre_rewrite_engine() {
+    use hpx_lci_repro::octotiger_mini::{run_octotiger, OctoParams};
+    let mut p = OctoParams::expanse("lci_psr_cq_pin_i".parse().unwrap(), 4);
+    p.level = 3;
+    p.steps = 2;
+    p.cores = 6;
+    let r = run_octotiger(&p);
+    assert!(r.completed);
+    assert_eq!(
+        r.total.as_nanos(),
+        2_374_261,
+        "octotiger virtual runtime moved — engine changed simulation semantics"
+    );
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no network access to crates.io, so the
+//! workspace vendors the subset it uses: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Timing is a simple best-of-N wall-clock measurement printed to
+//! stdout — no statistics, plots, or HTML reports. Under `cargo test`
+//! each bench body runs once (smoke mode), keeping tier-1 runs fast.
+
+use std::time::Instant;
+
+/// Whether we are in smoke mode (`cargo test` passes `--test`).
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Measurement driver handed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    /// Best observed per-iteration time, ns.
+    best_ns: f64,
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (ignored; kept for API
+/// compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let mut best = f64::INFINITY;
+        for _ in 0..self.iters.max(1) {
+            let t0 = Instant::now();
+            let out = routine();
+            let dt = t0.elapsed().as_nanos() as f64;
+            std::hint::black_box(out);
+            best = best.min(dt);
+        }
+        self.best_ns = best;
+    }
+
+    /// Time `routine` over fresh inputs built by `setup`.
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        let mut best = f64::INFINITY;
+        for _ in 0..self.iters.max(1) {
+            let input = setup();
+            let t0 = Instant::now();
+            let out = routine(input);
+            let dt = t0.elapsed().as_nanos() as f64;
+            std::hint::black_box(out);
+            best = best.min(dt);
+        }
+        self.best_ns = best;
+    }
+}
+
+/// Top-level benchmark registry.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: if smoke_mode() { 1 } else { 10 } }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.sample_size, best_ns: f64::NAN };
+        f(&mut b);
+        report(name.as_ref(), b.best_ns);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.into() }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count (upstream API; here: iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = if smoke_mode() { 1 } else { n.max(1) as u64 };
+        self
+    }
+
+    /// Register and immediately run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self {
+        let mut b = Bencher { iters: self.parent.sample_size, best_ns: f64::NAN };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.as_ref()), b.best_ns);
+        self
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, best_ns: f64) {
+    if best_ns.is_nan() {
+        println!("bench {name:50} (no measurement)");
+    } else if best_ns >= 1e6 {
+        println!("bench {name:50} {:>12.3} ms", best_ns / 1e6);
+    } else {
+        println!("bench {name:50} {best_ns:>12.0} ns");
+    }
+}
+
+/// Prevent the optimizer from discarding `x` (re-export shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Group bench functions into one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut hits = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| hits += 1));
+        assert!(hits >= 1);
+    }
+
+    #[test]
+    fn groups_run_batched() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut total = 0usize;
+        g.bench_function("b", |b| {
+            b.iter_batched(|| vec![1u8; 8], |v| total += v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(total >= 8);
+    }
+}
