@@ -496,6 +496,8 @@ impl Locality {
         on_sent: Option<OnSent>,
     ) -> SimTime {
         let pp = self.parcelport.borrow().clone().expect("no parcelport installed");
+        telemetry::counter_add("amt.messages_put", 1);
+        telemetry::hist_record("amt.msg_bytes", msg.total_bytes() as u64);
         let t = pp.borrow_mut().put_message(sim, core, at, dest, msg, on_sent);
         sim.stats.bump("amt.messages_put");
         t
@@ -515,6 +517,17 @@ impl Locality {
     ) {
         sim.stats.bump("amt.messages_delivered");
         let _ = src;
+        telemetry::counter_add("amt.messages_delivered", 1);
+        telemetry::flow_mark_many(&msg.flows, telemetry::stage::DELIVER, at.max(sim.now()));
+        // Counter track of cumulative deliveries (all localities share the
+        // thread-local collector, so one track covers the world). The
+        // flows guard keeps the disabled path allocation-free.
+        if !msg.flows.is_empty() {
+            telemetry::with(|tel| {
+                let n = tel.with_metrics(|m| m.counter("amt.messages_delivered"));
+                tel.track_sample("amt.delivered", at.max(sim.now()), n as f64);
+            });
+        }
         let h = self.handler_id(sim);
         let slot = self.pending.borrow_mut().insert(PendingDeliver { core, msg });
         sim.schedule_event_at(at.max(sim.now()), h, deliver_arg(slot));
@@ -543,6 +556,8 @@ impl Locality {
             sim,
             core,
             Box::new(move |sim, loc, core| {
+                telemetry::flow_set_dst_core(&msg.flows, core);
+                telemetry::flow_mark_many(&msg.flows, telemetry::stage::SPAWN, sim.now());
                 let mut t = sim.now() + decode_cost;
                 let parcels = msg.decode();
                 for p in parcels {

@@ -52,6 +52,9 @@ impl Default for ParcelLayerConfig {
 
 struct DestQueue {
     parcels: Vec<Parcel>,
+    /// Telemetry flow ids riding alongside `parcels` (empty when
+    /// telemetry is disabled — ids of 0 are never pushed).
+    flows: Vec<u64>,
     res: SimResource,
     draining_until: SimTime,
 }
@@ -147,11 +150,18 @@ impl ParcelLayer {
         let (immediate, threshold) =
             { loc.with_layer(|l| (l.cfg.send_immediate, l.cfg.zero_copy_threshold)) };
 
+        let flow = telemetry::flow_begin(loc.id, dest, core, sim.now());
+        telemetry::counter_add("amt.parcels_put", 1);
+
         if immediate {
             // Serialize directly and hand to the parcelport: no queue, no
             // connection cache, no aggregation.
-            let msg = HpxMessage::encode(std::slice::from_ref(&parcel), threshold);
+            let mut msg = HpxMessage::encode(std::slice::from_ref(&parcel), threshold);
             let t = sim.now() + Self::encode_cost(&cost, &msg, 1);
+            if flow != 0 {
+                telemetry::flow_mark(flow, telemetry::stage::SERIALIZE, t);
+                msg.flows.push(flow);
+            }
             loc.with_layer(|l| {
                 l.messages_sent += 1;
                 l.parcels_sent += 1;
@@ -162,21 +172,28 @@ impl ParcelLayer {
 
         // Default path: parcel queue → connection cache → drain.
         let now = sim.now();
+        telemetry::flow_mark(flow, telemetry::stage::QUEUE, now);
         enum Next {
             Aggregated((SimTime, SimTime)),
             Starved(SimTime),
             Drain(SimTime),
         }
+        let mut queue_depth = 0usize;
         let next = loc.with_layer(|l| {
             let max_conn = l.cfg.max_connections;
             let transfer = cost.cacheline_transfer;
             let q = l.queues.entry(dest).or_insert_with(|| DestQueue {
                 parcels: Vec::new(),
+                flows: Vec::new(),
                 res: SimResource::new("amt.parcel_queue", transfer),
                 draining_until: SimTime::ZERO,
             });
             let t1 = q.res.access(now, core, cost.amt_parcel_queue_op);
             q.parcels.push(parcel);
+            queue_depth = q.parcels.len();
+            if flow != 0 {
+                q.flows.push(flow);
+            }
             if q.draining_until > now {
                 // Another core is serializing this destination right now;
                 // our parcel rides along with a later drain.
@@ -192,6 +209,12 @@ impl ParcelLayer {
             l.conn_in_use += 1;
             Next::Drain(t2)
         });
+
+        // Counter track of the per-destination queue depth. The `flow != 0`
+        // guard means the name is only formatted while tracing is on.
+        if flow != 0 {
+            telemetry::track_sample(&format!("loc{}.sendq", loc.id), now, queue_depth as f64);
+        }
 
         match next {
             Next::Aggregated((t, window_end)) => {
@@ -211,17 +234,18 @@ impl ParcelLayer {
     /// connection, send it, and arrange the connection's return.
     fn drain(loc: &Rc<Locality>, sim: &mut Sim, core: usize, dest: usize, t0: SimTime) -> SimTime {
         let cost = loc.cost.clone();
-        let (parcels, threshold) = loc.with_layer(|l| {
+        let (parcels, flows, threshold) = loc.with_layer(|l| {
             let threshold = l.cfg.zero_copy_threshold;
             let q = l.queues.get_mut(&dest).expect("drain of unknown dest");
-            (std::mem::take(&mut q.parcels), threshold)
+            (std::mem::take(&mut q.parcels), std::mem::take(&mut q.flows), threshold)
         });
         if parcels.is_empty() {
             // Someone else drained in between; return the connection.
             loc.with_layer(|l| l.conn_in_use -= 1);
             return t0;
         }
-        let msg = HpxMessage::encode(&parcels, threshold);
+        let mut msg = HpxMessage::encode(&parcels, threshold);
+        msg.flows = flows;
         // Dequeue + per-parcel serialization is one serialized pass over
         // the destination queue: only one drain makes progress on a
         // destination at a time (this is what caps the aggregated path's
@@ -234,6 +258,7 @@ impl ParcelLayer {
             let q = l.queues.get_mut(&dest).expect("dest exists");
             q.res.access(t0, core, encode)
         });
+        telemetry::flow_mark_many(&msg.flows, telemetry::stage::SERIALIZE, t1);
         loc.with_layer(|l| {
             l.messages_sent += 1;
             l.parcels_sent += parcels.len() as u64;

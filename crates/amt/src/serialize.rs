@@ -39,6 +39,10 @@ pub struct HpxMessage {
     pub zero_copy: Vec<Bytes>,
     /// Index/length table; `Some` iff `zero_copy` is non-empty.
     pub transmission: Option<Bytes>,
+    /// Telemetry flow ids of the parcels aggregated into this message.
+    /// Always empty when telemetry is disabled; never serialized — the
+    /// receive side re-attaches ids via the out-of-band route registry.
+    pub flows: Vec<u64>,
 }
 
 impl HpxMessage {
@@ -74,7 +78,7 @@ impl HpxMessage {
             }
             Some(tw.finish())
         };
-        HpxMessage { non_zero_copy: w.finish(), zero_copy, transmission }
+        HpxMessage { non_zero_copy: w.finish(), zero_copy, transmission, flows: Vec::new() }
     }
 
     /// Deserialize back into parcels. The remote locality can decode

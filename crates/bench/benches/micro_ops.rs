@@ -44,8 +44,14 @@ fn bench_cq(c: &mut Criterion) {
         let cost = CostModel::default();
         let mut sim = Sim::new(0);
         b.iter(|| {
-            let req =
-                Request { op: lci::OpKind::Recv, rank: 0, tag: 1, data: Bytes::new(), user: 7 };
+            let req = Request {
+                op: lci::OpKind::Recv,
+                rank: 0,
+                tag: 1,
+                data: Bytes::new(),
+                user: 7,
+                arrived: simcore::SimTime::ZERO,
+            };
             cq.push(&mut sim, 0, &cost, req);
             cq.pop(&mut sim, 1, &cost).0
         })
@@ -59,8 +65,14 @@ fn bench_comp_signal(c: &mut Criterion) {
         b.iter_batched(
             || lci::Synchronizer::new(1, 300),
             |sync| {
-                let req =
-                    Request { op: lci::OpKind::Send, rank: 0, tag: 0, data: Bytes::new(), user: 0 };
+                let req = Request {
+                    op: lci::OpKind::Send,
+                    rank: 0,
+                    tag: 0,
+                    data: Bytes::new(),
+                    user: 0,
+                    arrived: simcore::SimTime::ZERO,
+                };
                 sync.signal(&mut sim, 0, &cost, req);
                 sync.test(&mut sim, 1, &cost).0
             },

@@ -8,12 +8,44 @@
 
 use bench::bench_scale;
 use bench::report::Table;
+use bench::trace::{instrumented, TraceArgs, TraceSink};
 use octotiger_mini::{run_octotiger, OctoParams};
+
+/// The configuration nominated for the `--trace` Chrome export.
+const TRACE_CONFIG: &str = "lci_psr_cq_pin_i";
+
+/// Instrumented pass (`--trace` / `--breakdown` / `--json`): a reduced
+/// 2-node application run per configuration with telemetry enabled; the
+/// Chrome export shows one track per core with parcel flow arrows
+/// crossing the two localities.
+fn instrumented_pass(targs: &TraceArgs, scale: f64, configs: &[&str]) {
+    let mut sink = TraceSink::new(targs);
+    let traced: Vec<&str> =
+        if targs.wants_reports() { configs.to_vec() } else { vec![TRACE_CONFIG] };
+    println!("instrumented pass: 2 nodes, telemetry enabled");
+    for c in &traced {
+        let (r, tel) = instrumented(|| {
+            let mut p = OctoParams::expanse(c.parse().unwrap(), 2);
+            p.level = 4;
+            p.steps = if scale < 1.0 { 2 } else { 3 };
+            run_octotiger(&p)
+        });
+        assert!(r.mass_ok, "{c}: invariant violated");
+        println!("{c}: {:.3} steps/s, flows {}", r.steps_per_sec, tel.flow_count());
+        sink.emit(&tel, c, *c == TRACE_CONFIG);
+    }
+    sink.finish();
+}
 
 fn main() {
     let scale = bench_scale();
     let nodes = [2usize, 4, 8, 16, 32];
     let configs = ["mpi", "mpi_i", "lci_psr_cq_pin_i"];
+    let targs = TraceArgs::parse();
+    if targs.active() {
+        instrumented_pass(&targs, scale, &configs);
+        return;
+    }
 
     println!("Figure 10: Octo-Tiger steps/s on (simulated) SDSC Expanse");
     println!("(level 5 tree, 5 steps, 32-core nodes, HDR wire; cores scaled 128->32)");

@@ -4,13 +4,44 @@
 //! Paper shape: every configuration first tracks the attempted injection
 //! rate, then plateaus — except `mpi`, whose achieved rate rises and then
 //! *falls* under pressure; `lci_psr_cq_pin_i` plateaus highest.
+//!
+//! With `--trace FILE` / `--breakdown` / `--json FILE` the harness runs a
+//! reduced instrumented pass instead of the full sweep (see
+//! `bench::trace`).
 
 use bench::report::{fmt_kps, Table};
-use bench::{bench_scale, injection_grid_8b, sweep_injection, MsgRateParams};
+use bench::trace::{instrumented, TraceArgs, TraceSink};
+use bench::{bench_scale, injection_grid_8b, run_msgrate, sweep_injection, MsgRateParams};
+
+/// The configuration nominated for the `--trace` Chrome export (the
+/// paper's best performer).
+const TRACE_CONFIG: &str = "lci_psr_cq_pin_i";
+
+fn instrumented_pass(targs: &TraceArgs, scale: f64, configs: &[&str]) {
+    let mut sink = TraceSink::new(targs);
+    let traced: Vec<&str> =
+        if targs.wants_reports() { configs.to_vec() } else { vec![TRACE_CONFIG] };
+    println!("instrumented pass: unlimited injection, telemetry enabled");
+    for c in &traced {
+        let (r, tel) = instrumented(|| {
+            let mut p = MsgRateParams::small(c.parse().unwrap());
+            p.total_msgs = ((10_000f64 * scale) as usize).max(1_000);
+            run_msgrate(&p)
+        });
+        println!("{c}: rate {} flows {}", fmt_kps(r.msg_rate), tel.flow_count());
+        sink.emit(&tel, c, *c == TRACE_CONFIG);
+    }
+    sink.finish();
+}
 
 fn main() {
     let scale = bench_scale();
     let configs = ["lci_psr_cq_pin", "lci_psr_cq_pin_i", "mpi", "mpi_i"];
+    let targs = TraceArgs::parse();
+    if targs.active() {
+        instrumented_pass(&targs, scale, &configs);
+        return;
+    }
     println!("Figure 1: achieved message rate (K/s), 8B messages, batch 100");
     println!("(rows: attempted injection rate; columns: achieved injection / message rate)");
     println!();

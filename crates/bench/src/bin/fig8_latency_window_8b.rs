@@ -4,14 +4,50 @@
 //! Paper shape: latency grows with window everywhere; `mpi_i` starts much
 //! better than `mpi` but crosses over around window 8;
 //! `lci_psr_cq_pin_i` is best at almost every window.
+//!
+//! With `--trace FILE` / `--breakdown` / `--json FILE` the harness runs a
+//! reduced instrumented pass at window 64 instead of the full sweep: a
+//! per-stage latency breakdown and a contention report for every Table-1
+//! configuration (see `bench::trace`).
 
 use bench::report::{fmt_us, Table};
+use bench::trace::{instrumented, TraceArgs, TraceSink};
 use bench::{bench_scale, run_latency, LatencyParams};
 use parcelport::PpConfig;
+
+/// The configuration nominated for the `--trace` Chrome export.
+const TRACE_CONFIG: &str = "lci_psr_cq_pin_i";
+
+fn instrumented_pass(targs: &TraceArgs, scale: f64) {
+    let mut sink = TraceSink::new(targs);
+    let traced: Vec<PpConfig> = if targs.wants_reports() {
+        PpConfig::paper_set()
+    } else {
+        vec![TRACE_CONFIG.parse().unwrap()]
+    };
+    println!("instrumented pass: window 64, telemetry enabled");
+    for cfg in traced {
+        let (r, tel) = instrumented(|| {
+            let mut p = LatencyParams::new(cfg, 8);
+            p.window = 64;
+            p.steps = ((100f64 * scale) as usize).max(25);
+            run_latency(&p)
+        });
+        let name = cfg.to_string();
+        println!("{name}: one-way {} flows {}", fmt_us(r.one_way_us), tel.flow_count());
+        sink.emit(&tel, &name, name == TRACE_CONFIG);
+    }
+    sink.finish();
+}
 
 fn main() {
     let scale = bench_scale();
     let windows = [1usize, 2, 4, 8, 16, 32, 64];
+    let targs = TraceArgs::parse();
+    if targs.active() {
+        instrumented_pass(&targs, scale);
+        return;
+    }
     println!("Figure 8: one-way latency (us) of 8B messages vs window size");
     println!();
     let mut header = vec!["config".to_string()];

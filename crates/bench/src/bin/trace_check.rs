@@ -1,0 +1,115 @@
+//! Validate a Chrome-trace JSON file produced by `--trace`: parse the
+//! event array and check the invariants Perfetto relies on (complete
+//! spans with durations, matched `s`/`f` flow-event pairs, numeric
+//! timestamps, counter samples with values). Exits non-zero on any
+//! violation — the CI trace smoke step runs this over a reduced `fig1`
+//! export.
+//!
+//! Usage: `trace_check FILE [--require-flows]`
+
+use telemetry::json::{parse, Value};
+
+fn main() {
+    let mut path = None;
+    let mut require_flows = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--require-flows" => require_flows = true,
+            other if path.is_none() => path = Some(other.to_string()),
+            other => die(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.unwrap_or_else(|| {
+        die("usage: trace_check FILE [--require-flows]");
+    });
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
+    match validate(&src, require_flows) {
+        Ok(summary) => println!("{path}: OK — {summary}"),
+        Err(e) => die(&format!("{path}: INVALID — {e}")),
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("trace_check: {msg}");
+    std::process::exit(1);
+}
+
+fn validate(src: &str, require_flows: bool) -> Result<String, String> {
+    let doc = parse(src)?;
+    let events = doc.as_arr().ok_or("top level is not an array")?;
+    if events.is_empty() {
+        return Err("empty trace".into());
+    }
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+    let mut starts: Vec<u64> = Vec::new();
+    let mut finishes: Vec<u64> = Vec::new();
+    let mut tracks = std::collections::BTreeSet::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"ph\""))?;
+        e.get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"name\""))?;
+        let ts = e
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {i}: missing \"ts\""))?;
+        if !ts.is_finite() || ts < 0.0 {
+            return Err(format!("event {i}: bad ts {ts}"));
+        }
+        match ph {
+            "X" => {
+                let dur = e
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: complete span without \"dur\""))?;
+                if !dur.is_finite() || dur < 0.0 {
+                    return Err(format!("event {i}: bad dur {dur}"));
+                }
+                let tid = e
+                    .get("tid")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("event {i}: span without \"tid\""))?;
+                tracks.insert(tid.to_string());
+                spans += 1;
+            }
+            "s" | "f" => {
+                let id = e
+                    .get("id")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: flow event without \"id\""))?;
+                if ph == "s" { &mut starts } else { &mut finishes }.push(id as u64);
+            }
+            "C" => {
+                e.get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: counter without args.value"))?;
+                counters += 1;
+            }
+            other => return Err(format!("event {i}: unexpected phase {other:?}")),
+        }
+    }
+    starts.sort_unstable();
+    finishes.sort_unstable();
+    if starts != finishes {
+        return Err(format!(
+            "unmatched flow events: {} starts vs {} finishes",
+            starts.len(),
+            finishes.len()
+        ));
+    }
+    if require_flows && starts.is_empty() {
+        return Err("no flow events (expected at least one traced parcel)".into());
+    }
+    Ok(format!(
+        "{} events: {spans} spans on {} tracks, {} flow arrows, {counters} counter samples",
+        events.len(),
+        tracks.len(),
+        starts.len()
+    ))
+}

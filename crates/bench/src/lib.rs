@@ -21,6 +21,7 @@
 pub mod latency;
 pub mod msgrate;
 pub mod report;
+pub mod trace;
 
 pub use latency::{run_latency, LatencyParams, LatencyResult};
 pub use msgrate::{run_msgrate, MsgRateParams, MsgRateResult};

@@ -1,0 +1,129 @@
+//! `--trace` / `--breakdown` support shared by the figure harnesses.
+//!
+//! Flags understood by the instrumented harnesses (`fig1_msgrate_8b`,
+//! `fig8_latency_window_8b`, `fig10_octotiger_expanse`):
+//!
+//! * `--trace FILE` — write a combined Chrome-trace JSON (core spans +
+//!   parcel flow arrows + counter tracks) of one instrumented run; load
+//!   it at <https://ui.perfetto.dev> or `chrome://tracing`.
+//! * `--breakdown` — print the per-stage latency breakdown and the
+//!   contention attribution ("top resources by wait time") of every
+//!   instrumented configuration.
+//! * `--json FILE` — write the same reports machine-readable.
+//!
+//! When any flag is present the harness runs a reduced *instrumented
+//! pass* instead of the full figure sweep: telemetry accumulates per
+//! collector, so each traced configuration gets a fresh one (see
+//! [`instrumented`]).
+
+use std::rc::Rc;
+
+use telemetry::Telemetry;
+
+/// Parsed observability flags.
+#[derive(Debug, Default, Clone)]
+pub struct TraceArgs {
+    /// Chrome-trace output path (`--trace FILE`).
+    pub trace: Option<String>,
+    /// Print text breakdown + contention reports (`--breakdown`).
+    pub breakdown: bool,
+    /// Machine-readable report path (`--json FILE`).
+    pub json: Option<String>,
+}
+
+impl TraceArgs {
+    /// Parse the harness command line; exits with a usage message on an
+    /// unknown argument.
+    pub fn parse() -> TraceArgs {
+        let mut out = TraceArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--trace" => out.trace = Some(it.next().expect("--trace needs a file path")),
+                "--breakdown" => out.breakdown = true,
+                "--json" => out.json = Some(it.next().expect("--json needs a file path")),
+                other => {
+                    eprintln!(
+                        "unknown argument {other:?} \
+                         (supported: --trace FILE, --breakdown, --json FILE)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether an instrumented pass was requested.
+    pub fn active(&self) -> bool {
+        self.trace.is_some() || self.breakdown || self.json.is_some()
+    }
+
+    /// Whether per-config reports (rather than just one Chrome trace)
+    /// were requested — decides how many configs the pass covers.
+    pub fn wants_reports(&self) -> bool {
+        self.breakdown || self.json.is_some()
+    }
+}
+
+/// Run `f` under a fresh telemetry collector and return its result plus
+/// the collector. Worlds built inside `f` get per-locality span tracers
+/// and deposit their spans when dropped, so the collector is complete by
+/// the time this returns.
+pub fn instrumented<R>(f: impl FnOnce() -> R) -> (R, Rc<Telemetry>) {
+    let tel = telemetry::enable();
+    let r = f();
+    telemetry::disable();
+    (r, tel)
+}
+
+/// Accumulates per-configuration reports and writes the files requested
+/// on the command line.
+pub struct TraceSink {
+    args: TraceArgs,
+    json_docs: Vec<String>,
+}
+
+impl TraceSink {
+    /// A sink honoring `args`.
+    pub fn new(args: &TraceArgs) -> TraceSink {
+        TraceSink { args: args.clone(), json_docs: Vec::new() }
+    }
+
+    /// Emit the reports of one instrumented run. The Chrome trace file is
+    /// written only when `write_trace` is set — the harness nominates one
+    /// run so `--trace` yields a single file.
+    pub fn emit(&mut self, tel: &Telemetry, config: &str, write_trace: bool) {
+        if self.args.breakdown {
+            print!("{}", tel.breakdown(config).to_text());
+            print!("{}", tel.contention_report(config).to_text());
+            println!();
+        }
+        if self.args.json.is_some() {
+            self.json_docs.push(format!(
+                "{{\"breakdown\":{},\"contention\":{}}}",
+                tel.breakdown(config).to_json(),
+                tel.contention_report(config).to_json()
+            ));
+        }
+        if write_trace {
+            if let Some(path) = &self.args.trace {
+                std::fs::write(path, tel.chrome_trace_collected()).expect("write trace file");
+                println!(
+                    "wrote Chrome trace of {config} ({} spans, {} flows) -> {path}",
+                    tel.span_count(),
+                    tel.flow_count()
+                );
+            }
+        }
+    }
+
+    /// Write the machine-readable report file, if requested.
+    pub fn finish(self) {
+        if let Some(path) = &self.args.json {
+            std::fs::write(path, format!("[{}]", self.json_docs.join(",")))
+                .expect("write json report");
+            println!("wrote machine-readable reports -> {path}");
+        }
+    }
+}

@@ -30,6 +30,10 @@ pub struct Request {
     pub data: Bytes,
     /// User context word supplied when the operation was posted.
     pub user: u64,
+    /// Wire-arrival instant of the packet that completed this operation
+    /// (receives and put-targets; `SimTime::ZERO` for local completions).
+    /// Observability only — never feeds back into protocol timing.
+    pub arrived: SimTime,
 }
 
 /// A multi-producer completion queue.
@@ -222,7 +226,14 @@ mod tests {
     use super::*;
 
     fn req(tag: u64) -> Request {
-        Request { op: OpKind::Recv, rank: 0, tag, data: Bytes::new(), user: 0 }
+        Request {
+            op: OpKind::Recv,
+            rank: 0,
+            tag,
+            data: Bytes::new(),
+            user: 0,
+            arrived: SimTime::ZERO,
+        }
     }
 
     #[test]

@@ -210,7 +210,14 @@ impl Device {
         self.pool.put_at(out.deliver_at);
         sim.stats.bump("lci.sendm");
         sim.stats.add("lci.sendm_bytes", len as u64);
-        let req = Request { op: OpKind::Send, rank: dst, tag, data: Bytes::new(), user };
+        let req = Request {
+            op: OpKind::Send,
+            rank: dst,
+            tag,
+            data: Bytes::new(),
+            user,
+            arrived: SimTime::ZERO,
+        };
         Ok(self.signal(sim, core, t, &comp, req))
     }
 
@@ -244,6 +251,7 @@ impl Device {
                     tag: msg.tag,
                     data: msg.data,
                     user: recv.user,
+                    arrived: msg.arrived,
                 };
                 self.signal(sim, core, t, &recv.comp, req)
             }
@@ -330,7 +338,14 @@ impl Device {
             let t = t.max(out.cpu_done);
             self.pool.put_at(out.deliver_at);
             sim.stats.bump("lci.put_eager");
-            let req = Request { op: OpKind::Put, rank: dst, tag, data: Bytes::new(), user };
+            let req = Request {
+                op: OpKind::Put,
+                rank: dst,
+                tag,
+                data: Bytes::new(),
+                user,
+                arrived: SimTime::ZERO,
+            };
             Ok(self.signal(sim, core, t, &comp, req))
         } else {
             let op = self.fresh_op();
@@ -395,7 +410,14 @@ impl Device {
         let t = t.max(out.cpu_done);
         self.pool.put_at(out.deliver_at);
         sim.stats.bump("lci.put_eager_zc");
-        let req = Request { op: OpKind::Put, rank: dst, tag, data: Bytes::new(), user };
+        let req = Request {
+            op: OpKind::Put,
+            rank: dst,
+            tag,
+            data: Bytes::new(),
+            user,
+            arrived: SimTime::ZERO,
+        };
         Ok(self.signal(sim, core, t, &comp, req))
     }
 
@@ -434,9 +456,9 @@ impl Device {
                             next_arrival = na;
                             break;
                         }
-                        PollOutcome::Packet { pkt, cpu_done } => {
+                        PollOutcome::Packet { pkt, cpu_done, arrived } => {
                             t = t.max(cpu_done);
-                            t = self.handle_packet(sim, core, t, pkt);
+                            t = self.handle_packet(sim, core, t, pkt, arrived);
                             handled += 1;
                         }
                     }
@@ -448,8 +470,16 @@ impl Device {
         }
     }
 
-    /// Handle one arrived packet inside the progress engine.
-    fn handle_packet(&mut self, sim: &mut Sim, core: usize, t0: SimTime, pkt: Packet) -> SimTime {
+    /// Handle one arrived packet inside the progress engine. `arrived` is
+    /// the wire-delivery instant reported by the NIC (observability only).
+    fn handle_packet(
+        &mut self,
+        sim: &mut Sim,
+        core: usize,
+        t0: SimTime,
+        pkt: Packet,
+        arrived: SimTime,
+    ) -> SimTime {
         // Touch the progress engine's shared state (internal counters).
         let t = self
             .progress_state
@@ -459,7 +489,15 @@ impl Device {
         let tag = pkt.tag;
         match PacketKind::from_u8(pkt.kind) {
             PacketKind::Eager => {
-                let msg = UnexpectedMsg { src, tag, data: pkt.data, rts: false, imm: 0, size: 0 };
+                let msg = UnexpectedMsg {
+                    src,
+                    tag,
+                    data: pkt.data,
+                    rts: false,
+                    imm: 0,
+                    size: 0,
+                    arrived,
+                };
                 let (outcome, tm) = self.matching.match_arrival(sim, core, &self.cost, msg);
                 let t = t.max(tm);
                 match outcome {
@@ -471,6 +509,7 @@ impl Device {
                             tag,
                             data: msg.data,
                             user: recv.user,
+                            arrived,
                         };
                         self.signal(sim, core, t, &recv.comp, req)
                     }
@@ -479,15 +518,28 @@ impl Device {
             }
             PacketKind::PutEager => {
                 let t = t + self.cost.lci_dyn_alloc + self.cost.memcpy(pkt.data.len());
-                let req =
-                    Request { op: OpKind::PutTarget, rank: src, tag, data: pkt.data, user: 0 };
+                let req = Request {
+                    op: OpKind::PutTarget,
+                    rank: src,
+                    tag,
+                    data: pkt.data,
+                    user: 0,
+                    arrived,
+                };
                 let cq = self.remote_cq.clone().expect("remote CQ not configured for puts");
                 cq.push(sim, core, &self.cost, req).max(t)
             }
             PacketKind::Rts => {
                 let size = u64::from_le_bytes(pkt.data[..8].try_into().expect("RTS size")) as usize;
-                let msg =
-                    UnexpectedMsg { src, tag, data: Bytes::new(), rts: true, imm: pkt.imm, size };
+                let msg = UnexpectedMsg {
+                    src,
+                    tag,
+                    data: Bytes::new(),
+                    rts: true,
+                    imm: pkt.imm,
+                    size,
+                    arrived,
+                };
                 let (outcome, tm) = self.matching.match_arrival(sim, core, &self.cost, msg);
                 let t = t.max(tm);
                 match outcome {
@@ -551,6 +603,7 @@ impl Device {
                     tag: state.tag,
                     data: Bytes::new(),
                     user: state.user,
+                    arrived: SimTime::ZERO,
                 };
                 self.signal(sim, core, t, &state.comp, req)
             }
@@ -560,8 +613,14 @@ impl Device {
                 debug_assert_eq!(state.size, pkt.data.len(), "RTS promised a different size");
                 let t = t + self.cost.lci_rdv_ctrl;
                 if state.one_sided {
-                    let req =
-                        Request { op: OpKind::PutTarget, rank: src, tag, data: pkt.data, user: 0 };
+                    let req = Request {
+                        op: OpKind::PutTarget,
+                        rank: src,
+                        tag,
+                        data: pkt.data,
+                        user: 0,
+                        arrived,
+                    };
                     let cq = self.remote_cq.clone().expect("remote CQ not configured for puts");
                     cq.push(sim, core, &self.cost, req).max(t)
                 } else {
@@ -571,6 +630,7 @@ impl Device {
                         tag,
                         data: pkt.data,
                         user: state.user,
+                        arrived,
                     };
                     self.signal(sim, core, t, &state.comp, req)
                 }

@@ -50,6 +50,9 @@ pub struct UnexpectedMsg {
     pub imm: u64,
     /// Payload size promised by the RTS.
     pub size: usize,
+    /// Wire-arrival instant of the packet that carried this message
+    /// (observability only).
+    pub arrived: SimTime,
 }
 
 /// The matching table. Not thread-safe in host terms (the simulation is
@@ -182,7 +185,15 @@ mod tests {
     }
 
     fn msg(src: NodeId, tag: u64) -> UnexpectedMsg {
-        UnexpectedMsg { src, tag, data: Bytes::from_static(b"x"), rts: false, imm: 0, size: 1 }
+        UnexpectedMsg {
+            src,
+            tag,
+            data: Bytes::from_static(b"x"),
+            rts: false,
+            imm: 0,
+            size: 1,
+            arrived: SimTime::ZERO,
+        }
     }
 
     #[test]
@@ -311,6 +322,7 @@ mod tests {
                             rts: false,
                             imm: 0,
                             size: 0,
+                            arrived: SimTime::ZERO,
                         };
                         if t.match_arrival(&mut sim, 0, &cost, m).0.is_ok() {
                             matched += 1;

@@ -46,6 +46,7 @@ struct UnexpMsg {
     data: Bytes,
     rts: bool,
     imm: u64,
+    arrived: SimTime,
 }
 
 struct RdvSend {
@@ -273,6 +274,7 @@ impl Comm {
                 );
             } else {
                 sim.stats.bump("mpi.recv_from_unexpected");
+                req.set_arrived(m.arrived);
                 req.complete(m.src, m.tag, m.data);
             }
         } else {
@@ -323,7 +325,9 @@ impl Comm {
             let outcome = self.fabric.borrow_mut().poll(sim, core, self.rank);
             match outcome {
                 PollOutcome::Empty { .. } => break,
-                PollOutcome::Packet { pkt, .. } => self.handle_packet(sim, core, pkt),
+                PollOutcome::Packet { pkt, arrived, .. } => {
+                    self.handle_packet(sim, core, pkt, arrived)
+                }
             }
         }
     }
@@ -336,11 +340,14 @@ impl Comm {
         Some(self.posted.remove(pos).req)
     }
 
-    fn handle_packet(&mut self, sim: &mut Sim, core: usize, pkt: Packet) {
+    fn handle_packet(&mut self, sim: &mut Sim, core: usize, pkt: Packet, arrived: SimTime) {
         self.deferred_scan_ns += self.cost.mpi_handle_packet;
         match pkt.kind {
             kind::EAGER => match self.match_posted(pkt.src, pkt.tag) {
-                Some(req) => req.complete(pkt.src, pkt.tag, pkt.data),
+                Some(req) => {
+                    req.set_arrived(arrived);
+                    req.complete(pkt.src, pkt.tag, pkt.data)
+                }
                 None => {
                     sim.stats.bump("mpi.unexpected");
                     self.unexpected.push(UnexpMsg {
@@ -349,6 +356,7 @@ impl Comm {
                         data: pkt.data,
                         rts: false,
                         imm: 0,
+                        arrived,
                     });
                 }
             },
@@ -383,6 +391,7 @@ impl Comm {
                             data: Bytes::new(),
                             rts: true,
                             imm: pkt.imm,
+                            arrived,
                         });
                     }
                 }
@@ -412,6 +421,7 @@ impl Comm {
                 // UCX copies the staged rendezvous payload into the user
                 // buffer inside progress (pack + unpack).
                 self.deferred_scan_ns += self.cost.mpi_rndv + 2 * self.cost.memcpy(pkt.data.len());
+                req.set_arrived(arrived);
                 req.complete(pkt.src, pkt.tag, pkt.data);
             }
             other => panic!("unknown MPI packet kind {other}"),

@@ -5,6 +5,7 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use netsim::NodeId;
+use simcore::SimTime;
 
 /// Internal state of a request.
 #[derive(Debug)]
@@ -17,6 +18,9 @@ pub struct RequestState {
     pub src: NodeId,
     /// Actual tag of the matched message.
     pub tag: u64,
+    /// Wire-arrival instant of the completing packet (receives only;
+    /// `SimTime::ZERO` when not applicable). Observability only.
+    pub arrived: SimTime,
 }
 
 /// A nonblocking-operation handle, like an `MPI_Request`.
@@ -33,6 +37,7 @@ impl Request {
             data: Bytes::new(),
             src: 0,
             tag: 0,
+            arrived: SimTime::ZERO,
         })))
     }
 
@@ -58,6 +63,17 @@ impl Request {
         s.src = src;
         s.tag = tag;
         s.data = data;
+    }
+
+    /// Record when the completing packet arrived at the NIC.
+    pub fn set_arrived(&self, t: SimTime) {
+        self.0.borrow_mut().arrived = t;
+    }
+
+    /// Wire-arrival instant of the completing packet (`SimTime::ZERO`
+    /// when unknown or not applicable).
+    pub fn arrived(&self) -> SimTime {
+        self.0.borrow().arrived
     }
 
     /// Take the received payload (empties the request's buffer).

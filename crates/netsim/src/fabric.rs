@@ -39,6 +39,9 @@ pub enum PollOutcome {
         pkt: Packet,
         /// When the polling core is done reaping.
         cpu_done: SimTime,
+        /// When the packet actually arrived at the NIC (its wire
+        /// delivery instant — at or before the poll).
+        arrived: SimTime,
     },
     /// Nothing deliverable yet.
     Empty {
@@ -231,7 +234,11 @@ impl Fabric {
                     self.delivered += 1;
                     sim.stats.bump("net.delivered");
                     let cpu_done = cpu + self.model.rx_reap_ns;
-                    return PollOutcome::Packet { pkt: inflight.pkt, cpu_done };
+                    return PollOutcome::Packet {
+                        pkt: inflight.pkt,
+                        cpu_done,
+                        arrived: inflight.deliver_at,
+                    };
                 }
                 next_arrival = Some(match next_arrival {
                     Some(t) => t.min(head.deliver_at),
@@ -344,9 +351,10 @@ mod tests {
         }
         sim.run_until(out.deliver_at);
         match fab.poll(&mut sim, 0, 1) {
-            PollOutcome::Packet { pkt, cpu_done } => {
+            PollOutcome::Packet { pkt, cpu_done, arrived } => {
                 assert_eq!(pkt.tag, 7);
                 assert!(cpu_done > out.deliver_at);
+                assert_eq!(arrived, out.deliver_at);
             }
             _ => panic!("should be deliverable"),
         }

@@ -251,6 +251,7 @@ impl MessageAssembly {
             } else {
                 None
             },
+            flows: Vec::new(),
         }
     }
 }

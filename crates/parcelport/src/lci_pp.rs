@@ -57,6 +57,8 @@ struct LSendConn {
     on_sent: Option<OnSent>,
     /// Which LCI device carries this connection (multi-device mode).
     dev: usize,
+    /// Telemetry flow ids of the message (empty when disabled).
+    flows: Vec<u64>,
 }
 
 struct LRecvConn {
@@ -66,6 +68,8 @@ struct LRecvConn {
     asm: MessageAssembly,
     /// Device the header arrived on; follow-ups use the same context.
     dev: usize,
+    /// Telemetry flow ids claimed from the route registry.
+    flows: Vec<u64>,
 }
 
 /// The LCI parcelport.
@@ -251,7 +255,9 @@ impl LciParcelport {
                 match res {
                     Ok(t2) => {
                         t = t.max(t2);
-                        self.send_conns.get_mut(&id).expect("exists").header = None;
+                        let conn = self.send_conns.get_mut(&id).expect("exists");
+                        conn.header = None;
+                        telemetry::flow_mark_many(&conn.flows, telemetry::stage::INJECT, t);
                         sim.stats.bump("lci_pp.header_sent");
                         continue;
                     }
@@ -310,6 +316,7 @@ impl LciParcelport {
         }
     }
 
+    #[allow(clippy::too_many_arguments)] // one slot per wire fact; bundling obscures the call sites
     fn handle_header(
         &mut self,
         sim: &mut Sim,
@@ -318,14 +325,19 @@ impl LciParcelport {
         src: usize,
         header: Bytes,
         mut t: SimTime,
+        arrived: SimTime,
     ) -> SimTime {
         t = t + self.cost.pp_header + self.cost.pp_connection;
         let info = HeaderInfo::decode(&header);
+        let flows = telemetry::take_route(src, self.devs[0].rank(), info.tag_base);
+        telemetry::flow_mark_many(&flows, telemetry::stage::WIRE, arrived);
+        telemetry::flow_mark_many(&flows, telemetry::stage::MATCH, t);
         let asm = MessageAssembly::new(&info);
         let expected: VecDeque<PartId> = info.expected_parts().into();
         sim.stats.bump("lci_pp.header_received");
         if expected.is_empty() {
-            let msg = asm.into_message();
+            let mut msg = asm.into_message();
+            msg.flows = flows;
             if let Some(d) = self.deliver.clone() {
                 d(sim, core, t, src, msg);
             }
@@ -334,7 +346,7 @@ impl LciParcelport {
         }
         let id = self.next_conn;
         self.next_conn += 1;
-        let conn = LRecvConn { src, tag_base: info.tag_base, expected, asm, dev };
+        let conn = LRecvConn { src, tag_base: info.tag_base, expected, asm, dev, flows };
         self.recv_conns.insert(id, conn);
         self.post_next_recv(sim, core, id, t)
     }
@@ -370,7 +382,8 @@ impl LciParcelport {
                 conn.asm.supply(pid, req.data);
                 if conn.expected.is_empty() {
                     let conn = self.recv_conns.remove(&id).expect("exists");
-                    let msg = conn.asm.into_message();
+                    let mut msg = conn.asm.into_message();
+                    msg.flows = conn.flows;
                     sim.stats.bump("lci_pp.recv_conn_done");
                     if let Some(d) = self.deliver.clone() {
                         d(sim, core, t, conn.src, msg);
@@ -384,7 +397,7 @@ impl LciParcelport {
                 let dev = (id as usize).min(self.devs.len() - 1);
                 self.header_recv_posted = false;
                 let t2 = self.ensure_header_recv(sim, core);
-                t = self.handle_header(sim, core, dev, req.rank, req.data, t.max(t2));
+                t = self.handle_header(sim, core, dev, req.rank, req.data, t.max(t2), req.arrived);
                 t
             }
             other => unreachable!("bad completion kind {other}"),
@@ -453,7 +466,7 @@ impl LciParcelport {
                 match item {
                     Some(req) => {
                         did = true;
-                        t = self.handle_header(sim, core, dev, req.rank, req.data, t);
+                        t = self.handle_header(sim, core, dev, req.rank, req.data, t, req.arrived);
                     }
                     None => break,
                 }
@@ -493,6 +506,7 @@ impl Parcelport for LciParcelport {
         let plan = plan_message(&msg, tag_base, MAX_HEADER_SIZE, true);
         let t1 = t1 + self.cost.pp_connection;
         sim.stats.bump("lci_pp.messages_posted");
+        telemetry::register_route(self.devs[0].rank(), dest, tag_base, &msg.flows);
 
         let id = self.next_conn;
         self.next_conn += 1;
@@ -508,6 +522,7 @@ impl Parcelport for LciParcelport {
                 awaiting: false,
                 on_sent,
                 dev,
+                flows: msg.flows,
             },
         );
         self.pump_send(sim, core, id, t1)

@@ -59,6 +59,8 @@ struct RecvConn {
     expected: VecDeque<PartId>,
     asm: MessageAssembly,
     outstanding: Option<(PartId, Request)>,
+    /// Telemetry flow ids claimed from the route registry.
+    flows: Vec<u64>,
 }
 
 /// The MPI parcelport.
@@ -216,13 +218,18 @@ impl MpiParcelport {
         src: usize,
         header: Bytes,
         t: SimTime,
+        arrived: SimTime,
     ) -> SimTime {
         let t = t + self.cost.pp_header + self.cost.pp_connection;
         let info = HeaderInfo::decode(&header);
+        let flows = telemetry::take_route(src, self.comm.rank(), info.tag_base);
+        telemetry::flow_mark_many(&flows, telemetry::stage::WIRE, arrived);
+        telemetry::flow_mark_many(&flows, telemetry::stage::MATCH, t);
         let asm = MessageAssembly::new(&info);
         let expected: VecDeque<PartId> = info.expected_parts().into();
         if expected.is_empty() {
-            let msg = asm.into_message();
+            let mut msg = asm.into_message();
+            msg.flows = flows;
             sim.stats.bump("mpi_pp.recv_conn_done");
             let t = self.release_tag(sim, core, src, info.tag_base, t);
             if let Some(d) = self.deliver.clone() {
@@ -230,7 +237,8 @@ impl MpiParcelport {
             }
             return t;
         }
-        let mut conn = RecvConn { src, tag: info.tag_base, expected, asm, outstanding: None };
+        let mut conn =
+            RecvConn { src, tag: info.tag_base, expected, asm, outstanding: None, flows };
         // Post the first follow-up receive.
         let (id, t2) = {
             let id = *conn.expected.front().expect("non-empty");
@@ -301,7 +309,8 @@ impl MpiParcelport {
         } else {
             // Complete: assemble and deliver.
             let conn = self.recv_conns.swap_remove(idx);
-            let msg = conn.asm.into_message();
+            let mut msg = conn.asm.into_message();
+            msg.flows = conn.flows;
             sim.stats.bump("mpi_pp.recv_conn_done");
             t = self.release_tag(sim, core, conn.src, conn.tag, t);
             if let Some(d) = self.deliver.clone() {
@@ -337,6 +346,8 @@ impl Parcelport for MpiParcelport {
             };
         let (_, t2) = self.comm.isend(sim, core, t1, dest, TAG_HEADER, plan.header.clone());
         let mut t = t1.max(t2);
+        telemetry::flow_mark_many(&msg.flows, telemetry::stage::INJECT, t1);
+        telemetry::register_route(self.comm.rank(), dest, tag, &msg.flows);
         sim.stats.bump("mpi_pp.messages_posted");
 
         let conn = SendConn { dest, tag, parts: plan.parts.into(), outstanding: None, on_sent };
@@ -362,10 +373,11 @@ impl Parcelport for MpiParcelport {
             if done {
                 did_work = true;
                 let src = req.source();
+                let arrived = req.arrived();
                 let header = req.take_data();
                 self.header_req = None;
                 t = self.ensure_header_recv(sim, core, t);
-                t = self.handle_header(sim, core, src, header, t);
+                t = self.handle_header(sim, core, src, header, t, arrived);
             }
         }
 

@@ -174,7 +174,10 @@ impl TcpParcelport {
         let transmission =
             if r.get_u8() == 1 { Some(Bytes::copy_from_slice(r.get_bytes())) } else { None };
         assert!(r.is_exhausted(), "trailing bytes in TCP frame");
-        Some((HpxMessage { non_zero_copy: nzc, zero_copy: zc, transmission }, 4 + body_len))
+        Some((
+            HpxMessage { non_zero_copy: nzc, zero_copy: zc, transmission, flows: Vec::new() },
+            4 + body_len,
+        ))
     }
 
     /// Segment and send everything queued for `dest`.
@@ -256,7 +259,7 @@ impl Parcelport for TcpParcelport {
                     next_arrival = na;
                     break;
                 }
-                PollOutcome::Packet { pkt, cpu_done } => {
+                PollOutcome::Packet { pkt, cpu_done, .. } => {
                     let transfer = self.cost.cacheline_transfer;
                     let stream = self.inc.entry(pkt.src).or_insert_with(|| InStream {
                         buf: Vec::new(),

@@ -32,6 +32,7 @@
 pub mod cost;
 pub mod event;
 pub mod lock;
+pub mod probe;
 pub mod resource;
 pub mod sim;
 pub mod stats;
@@ -41,11 +42,12 @@ pub mod trace;
 pub use cost::CostModel;
 pub use event::{ClosureFn, EventHandler, EventId, HandlerId, OnceFn};
 pub use lock::{SimLock, SimTryLock, TryAcquire};
+pub use probe::Probe;
 pub use resource::SimResource;
 pub use sim::Sim;
-pub use stats::Stats;
+pub use stats::{Stats, Summary};
 pub use time::SimTime;
-pub use trace::{Span, Tracer};
+pub use trace::{escape_json, Span, Tracer};
 
 /// A simulated CPU core's private clock.
 ///

@@ -1,0 +1,112 @@
+//! Contention instrumentation hook.
+//!
+//! [`SimLock`](crate::SimLock), [`SimTryLock`](crate::SimTryLock) and
+//! [`SimResource`](crate::SimResource) report every acquisition/access
+//! through an optional thread-local [`Probe`]. Nothing in simcore consumes
+//! the data — an observability layer (the `telemetry` crate) installs a
+//! probe to attribute wait vs. service time per named resource.
+//!
+//! The hook is pure observation: implementations must not touch the
+//! simulation, and the emitting code never changes its timing based on
+//! whether a probe is installed. With no probe installed the cost is one
+//! thread-local borrow and a `None` check — no allocation, no dispatch.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// Receiver of contention events from locks and resources.
+pub trait Probe {
+    /// A [`SimLock`](crate::SimLock) acquisition was granted.
+    /// `wait_ns` is the spin/park time before the grant (including the
+    /// convoy handoff), `hold_ns` the critical-section length.
+    fn lock_wait(
+        &self,
+        name: &'static str,
+        core: usize,
+        now: SimTime,
+        wait_ns: u64,
+        hold_ns: u64,
+        contended: bool,
+    );
+
+    /// A [`SimTryLock`](crate::SimTryLock) attempt. `hold_ns` is the
+    /// charged critical section on success, 0 on failure.
+    fn try_lock(&self, name: &'static str, now: SimTime, acquired: bool, hold_ns: u64);
+
+    /// A [`SimResource`](crate::SimResource) access. `wait_ns` is the
+    /// queueing delay before service began, `service_ns` the full service
+    /// time (including any ownership-transfer penalty).
+    fn resource_access(
+        &self,
+        name: &'static str,
+        core: usize,
+        now: SimTime,
+        wait_ns: u64,
+        service_ns: u64,
+        transferred: bool,
+    );
+}
+
+thread_local! {
+    static PROBE: RefCell<Option<Rc<dyn Probe>>> = const { RefCell::new(None) };
+}
+
+/// Install `p` as this thread's probe (replacing any previous one).
+pub fn install(p: Rc<dyn Probe>) {
+    PROBE.with(|c| *c.borrow_mut() = Some(p));
+}
+
+/// Remove the installed probe, if any.
+pub fn uninstall() {
+    PROBE.with(|c| *c.borrow_mut() = None);
+}
+
+/// Whether a probe is currently installed on this thread.
+pub fn installed() -> bool {
+    PROBE.with(|c| c.borrow().is_some())
+}
+
+/// Run `f` against the installed probe; no-op when none is installed.
+#[inline]
+pub fn emit(f: impl FnOnce(&dyn Probe)) {
+    PROBE.with(|c| {
+        if let Some(p) = c.borrow().as_deref() {
+            f(p)
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    struct CountProbe(Cell<u64>);
+    impl Probe for CountProbe {
+        fn lock_wait(&self, _: &'static str, _: usize, _: SimTime, _: u64, _: u64, _: bool) {
+            self.0.set(self.0.get() + 1);
+        }
+        fn try_lock(&self, _: &'static str, _: SimTime, _: bool, _: u64) {
+            self.0.set(self.0.get() + 1);
+        }
+        fn resource_access(&self, _: &'static str, _: usize, _: SimTime, _: u64, _: u64, _: bool) {
+            self.0.set(self.0.get() + 1);
+        }
+    }
+
+    #[test]
+    fn install_emit_uninstall() {
+        assert!(!installed());
+        emit(|_| panic!("no probe installed"));
+        let p = Rc::new(CountProbe(Cell::new(0)));
+        install(p.clone());
+        assert!(installed());
+        emit(|probe| probe.try_lock("x", SimTime::ZERO, true, 1));
+        assert_eq!(p.0.get(), 1);
+        uninstall();
+        assert!(!installed());
+        emit(|_| panic!("probe not removed"));
+    }
+}

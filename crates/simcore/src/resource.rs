@@ -1,5 +1,6 @@
 //! Contended shared resources modeled as serialized service centers.
 
+use crate::probe;
 use crate::time::SimTime;
 
 /// A shared mutable software object — a cache line holding an atomic
@@ -59,10 +60,12 @@ impl SimResource {
         let start = now.max(self.next_free);
         self.total_queue_ns += start - now;
         let mut service = service_ns;
+        let mut transferred = false;
         if self.owner != Some(core) {
             if self.owner.is_some() {
                 self.transfers += 1;
                 service += self.transfer_ns;
+                transferred = true;
             }
             self.owner = Some(core);
         }
@@ -70,6 +73,7 @@ impl SimResource {
         self.busy_ns += service;
         self.accesses += 1;
         self.next_free = end;
+        probe::emit(|p| p.resource_access(self.name, core, now, start - now, service, transferred));
         end
     }
 

@@ -20,20 +20,31 @@ pub struct Summary {
     pub count: u64,
     /// Sum of all samples.
     pub sum: f64,
+    /// Sum of squared samples (for variance).
+    pub sum_sq: f64,
     /// Smallest sample.
     pub min: f64,
     /// Largest sample.
     pub max: f64,
 }
 
+impl Default for Summary {
+    fn default() -> Self {
+        Summary::new()
+    }
+}
+
 impl Summary {
-    fn new() -> Self {
-        Summary { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    /// Create an empty summary.
+    pub fn new() -> Self {
+        Summary { count: 0, sum: 0.0, sum_sq: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
-    fn record(&mut self, x: f64) {
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
         self.count += 1;
         self.sum += x;
+        self.sum_sq += x * x;
         self.min = self.min.min(x);
         self.max = self.max.max(x);
     }
@@ -45,6 +56,23 @@ impl Summary {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Population variance of the samples (0 if fewer than two).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.sum / n;
+        // Clamp: catastrophic cancellation can drive the estimate slightly
+        // negative when all samples are (nearly) equal.
+        (self.sum_sq / n - mean * mean).max(0.0)
+    }
+
+    /// Population standard deviation of the samples.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
     }
 }
 
@@ -73,7 +101,7 @@ impl Stats {
 
     /// Record a sample into the summary `key`.
     pub fn sample(&mut self, key: &'static str, x: f64) {
-        self.summaries.entry(key).or_insert_with(Summary::new).record(x);
+        self.summaries.entry(key).or_default().record(x);
     }
 
     /// Read a summary, if any samples were recorded.
@@ -84,6 +112,11 @@ impl Stats {
     /// Iterate counters in key order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
         self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Iterate summaries in key order.
+    pub fn summaries(&self) -> impl Iterator<Item = (&'static str, &Summary)> + '_ {
+        self.summaries.iter().map(|(k, v)| (*k, v))
     }
 
     /// Remove all counters and summaries.
@@ -136,6 +169,22 @@ mod tests {
         assert!((sum.mean() - 2.0).abs() < 1e-12);
         assert_eq!(sum.min, 1.0);
         assert_eq!(sum.max, 3.0);
+    }
+
+    #[test]
+    fn summaries_expose_variance_and_iterate() {
+        let mut s = Stats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.sample("lat", x);
+        }
+        s.sample("other", 1.0);
+        let sum = s.summary("lat").unwrap();
+        assert!((sum.variance() - 4.0).abs() < 1e-9);
+        assert!((sum.stddev() - 2.0).abs() < 1e-9);
+        let keys: Vec<_> = s.summaries().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["lat", "other"]);
+        // Single sample: no spread.
+        assert_eq!(s.summary("other").unwrap().stddev(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Chrome-trace / Perfetto JSON export: core spans, parcel flow arrows,
+//! and counter tracks, in one event array.
+
+use std::fmt::Write as _;
+
+use simcore::{escape_json, Span};
+
+use crate::flow::{stage, FlowRec};
+use crate::metrics::Metrics;
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1e3
+}
+
+/// Render a combined Chrome-trace JSON document.
+///
+/// * `spans` — core activity (one `tid` per `locN/coreM` track), as
+///   recorded by `simcore::Tracer`.
+/// * flows — every delivered parcel contributes a send slice on its source
+///   core track, a deliver slice on its destination core track, and a
+///   flow-event pair (`ph:"s"` / `ph:"f"`) so Perfetto draws an arrow from
+///   the sending core to the delivering core across localities.
+/// * counter tracks — sampled series (queue depths, utilization) as
+///   `ph:"C"` events.
+pub fn chrome_trace(spans: &[Span], flows: &[FlowRec], metrics: &Metrics) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+    };
+
+    for s in spans {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":\"{}\"}}",
+            escape_json(s.label),
+            us(s.start.as_nanos()),
+            us(s.end.since(s.start)),
+            escape_json(&s.track)
+        );
+    }
+
+    for (i, f) in flows.iter().enumerate() {
+        let id = i as u64 + 1;
+        let (Some(put), Some(deliver)) = (f.at(stage::PUT), f.at(stage::DELIVER)) else {
+            continue;
+        };
+        // End of the send-side slice: injection if recorded, else a sliver.
+        let send_end = f.at(stage::INJECT).unwrap_or(put + 1).max(put + 1);
+        let recv_end = f.at(stage::SPAWN).unwrap_or(deliver + 1).max(deliver + 1);
+        let src_tid = format!("loc{}/core{}", f.src, f.src_core);
+        let dst_tid = format!("loc{}/core{}", f.dst, f.dst_core);
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"parcel\",\"ph\":\"X\",\"cat\":\"parcel\",\"ts\":{},\"dur\":{},\
+             \"pid\":0,\"tid\":\"{src_tid}\",\"args\":{{\"flow\":{id}}}}}",
+            us(put),
+            us(send_end - put),
+        );
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"parcel\",\"ph\":\"s\",\"cat\":\"parcel\",\"id\":{id},\"ts\":{},\
+             \"pid\":0,\"tid\":\"{src_tid}\"}}",
+            us(put),
+        );
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"parcel\",\"ph\":\"X\",\"cat\":\"parcel\",\"ts\":{},\"dur\":{},\
+             \"pid\":0,\"tid\":\"{dst_tid}\",\"args\":{{\"flow\":{id}}}}}",
+            us(deliver),
+            us(recv_end - deliver),
+        );
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"parcel\",\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"parcel\",\"id\":{id},\
+             \"ts\":{},\"pid\":0,\"tid\":\"{dst_tid}\"}}",
+            us(deliver),
+        );
+    }
+
+    for (name, series) in metrics.tracks() {
+        for &(t, v) in series {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\
+                 \"args\":{{\"value\":{v}}}}}",
+                escape_json(name),
+                us(t),
+            );
+        }
+    }
+
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowTracer;
+    use simcore::SimTime;
+
+    #[test]
+    fn full_export_parses_and_contains_flow_pair() {
+        let spans = vec![Span {
+            track: "loc0/core0".into(),
+            label: "task",
+            start: SimTime::from_nanos(0),
+            end: SimTime::from_nanos(5_000),
+        }];
+        let mut f = FlowTracer::new();
+        let id = f.begin(0, 1, 0, SimTime::from_nanos(100));
+        f.mark(id, stage::INJECT, SimTime::from_nanos(400));
+        f.mark(id, stage::DELIVER, SimTime::from_nanos(3_000));
+        f.mark(id, stage::SPAWN, SimTime::from_nanos(3_200));
+        f.set_dst_core(&[id], 2);
+        let mut m = Metrics::new();
+        m.track_sample("queue_depth", 1_000, 3.0);
+        let json = chrome_trace(&spans, f.flows(), &m);
+        let parsed = crate::json::parse(&json).expect("chrome json parses");
+        let events = parsed.as_arr().unwrap();
+        let phases: Vec<_> =
+            events.iter().map(|e| e.get("ph").unwrap().as_str().unwrap()).collect();
+        assert!(phases.contains(&"s") && phases.contains(&"f") && phases.contains(&"C"));
+        let finish = events.iter().find(|e| e.get("ph").unwrap().as_str() == Some("f")).unwrap();
+        assert_eq!(finish.get("tid").unwrap().as_str(), Some("loc1/core2"));
+    }
+
+    #[test]
+    fn undelivered_flows_are_skipped() {
+        let mut f = FlowTracer::new();
+        f.begin(0, 1, 0, SimTime::ZERO);
+        let json = chrome_trace(&[], f.flows(), &Metrics::new());
+        assert_eq!(json, "[]");
+    }
+}

@@ -1,0 +1,400 @@
+//! # telemetry — virtual-time observability for the simulated stack
+//!
+//! A single subsystem every layer reports into:
+//!
+//! * a **metrics registry** ([`Metrics`]): counters, gauges and
+//!   log-bucketed histograms ([`Histogram`]) with p50/p90/p99, all
+//!   `&'static str`-keyed with no steady-state allocation;
+//! * **parcel-lifecycle flow tracing** ([`FlowTracer`]): a per-parcel
+//!   stage timeline (`put → queue → serialize → inject → wire → match →
+//!   deliver → spawn`) stitched across localities via an out-of-band
+//!   route registry, exported as Chrome-trace flow events
+//!   ([`chrome::chrome_trace`]) and a latency-breakdown report
+//!   ([`report::Breakdown`]);
+//! * **contention attribution** ([`ContentionTable`]): wait-vs-service
+//!   time per named `SimLock`/`SimTryLock`/`SimResource`, fed through
+//!   `simcore::probe`, ranked by total wait
+//!   ([`report::ContentionReport`]).
+//!
+//! ## Enable/disable
+//!
+//! The collector is a thread-local `Option<Rc<Telemetry>>`. Call sites go
+//! through the free functions in this module, which no-op when disabled:
+//! the disabled cost is one thread-local borrow and a `None` check, with
+//! zero allocation. Telemetry is *pure observation* — it never schedules
+//! events, charges virtual time, or alters wire traffic — so enabling it
+//! does not change simulation results, and disabling it reproduces
+//! byte-identical event streams (see `tests/golden_trace.rs`).
+
+pub mod chrome;
+pub mod flow;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod report;
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use simcore::{SimTime, Span};
+
+pub use flow::{stage, FlowRec, FlowTracer, STAGE_NAMES};
+pub use hist::Histogram;
+pub use metrics::{ContentionStat, ContentionTable, Metrics, ResourceKind};
+pub use report::{Breakdown, ContentionReport};
+
+/// The collector: metrics + flows + contention, behind one `RefCell`.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    inner: RefCell<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: Metrics,
+    flows: FlowTracer,
+    contention: ContentionTable,
+    spans: Vec<Span>,
+}
+
+impl Telemetry {
+    /// Create a detached collector (not installed anywhere).
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// Add `n` to counter `key`.
+    pub fn counter_add(&self, key: &'static str, n: u64) {
+        self.inner.borrow_mut().metrics.counter_add(key, n);
+    }
+
+    /// Set gauge `key`.
+    pub fn gauge_set(&self, key: &'static str, v: i64) {
+        self.inner.borrow_mut().metrics.gauge_set(key, v);
+    }
+
+    /// Record into histogram `key`.
+    pub fn hist_record(&self, key: &'static str, v: u64) {
+        self.inner.borrow_mut().metrics.hist_record(key, v);
+    }
+
+    /// Append a counter-track sample.
+    pub fn track_sample(&self, name: &str, t: SimTime, v: f64) {
+        self.inner.borrow_mut().metrics.track_sample(name, t.as_nanos(), v);
+    }
+
+    /// Start a parcel flow; returns its id (0 when the tracer is full).
+    pub fn flow_begin(&self, src: usize, dst: usize, src_core: usize, t: SimTime) -> u64 {
+        self.inner.borrow_mut().flows.begin(src, dst, src_core, t)
+    }
+
+    /// Mark `stage` on one flow.
+    pub fn flow_mark(&self, id: u64, stage: usize, t: SimTime) {
+        self.inner.borrow_mut().flows.mark(id, stage, t);
+    }
+
+    /// Mark `stage` on a batch of flows.
+    pub fn flow_mark_many(&self, ids: &[u64], stage: usize, t: SimTime) {
+        if !ids.is_empty() {
+            self.inner.borrow_mut().flows.mark_many(ids, stage, t);
+        }
+    }
+
+    /// Record the delivering core for `ids`.
+    pub fn flow_set_dst_core(&self, ids: &[u64], core: usize) {
+        if !ids.is_empty() {
+            self.inner.borrow_mut().flows.set_dst_core(ids, core);
+        }
+    }
+
+    /// Sender side of cross-locality stitching.
+    pub fn register_route(&self, src: usize, dst: usize, tag_base: u64, flows: &[u64]) {
+        self.inner.borrow_mut().flows.register_route(src, dst, tag_base, flows);
+    }
+
+    /// Receiver side of cross-locality stitching.
+    pub fn take_route(&self, src: usize, dst: usize, tag_base: u64) -> Vec<u64> {
+        self.inner.borrow_mut().flows.take_route(src, dst, tag_base)
+    }
+
+    /// Read access to the metrics registry.
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&Metrics) -> R) -> R {
+        f(&self.inner.borrow().metrics)
+    }
+
+    /// Read access to the recorded flows.
+    pub fn with_flows<R>(&self, f: impl FnOnce(&[FlowRec]) -> R) -> R {
+        f(self.inner.borrow().flows.flows())
+    }
+
+    /// Read access to the contention table.
+    pub fn with_contention<R>(&self, f: impl FnOnce(&ContentionTable) -> R) -> R {
+        f(&self.inner.borrow().contention)
+    }
+
+    /// Number of recorded flows.
+    pub fn flow_count(&self) -> usize {
+        self.inner.borrow().flows.len()
+    }
+
+    /// Build the per-stage latency breakdown for `config`.
+    pub fn breakdown(&self, config: &str) -> Breakdown {
+        Breakdown::from_flows(config, self.inner.borrow().flows.flows())
+    }
+
+    /// Build the wait-time-ranked contention report for `config`.
+    pub fn contention_report(&self, config: &str) -> ContentionReport {
+        ContentionReport {
+            config: config.to_string(),
+            rows: self.inner.borrow().contention.ranking(),
+        }
+    }
+
+    /// Deposit engine spans (drained from per-locality `simcore::Tracer`s
+    /// — `parcelport::World` does this automatically on drop).
+    pub fn add_spans(&self, spans: impl IntoIterator<Item = Span>) {
+        self.inner.borrow_mut().spans.extend(spans);
+    }
+
+    /// Number of deposited spans.
+    pub fn span_count(&self) -> usize {
+        self.inner.borrow().spans.len()
+    }
+
+    /// Render the combined Chrome-trace JSON (spans + flows + counters).
+    pub fn chrome_trace(&self, spans: &[Span]) -> String {
+        let inner = self.inner.borrow();
+        chrome::chrome_trace(spans, inner.flows.flows(), &inner.metrics)
+    }
+
+    /// [`Telemetry::chrome_trace`] over the deposited spans.
+    pub fn chrome_trace_collected(&self) -> String {
+        let inner = self.inner.borrow();
+        chrome::chrome_trace(&inner.spans, inner.flows.flows(), &inner.metrics)
+    }
+}
+
+/// Adapter feeding `simcore::probe` events into the contention table.
+struct ProbeAdapter(Rc<Telemetry>);
+
+impl simcore::Probe for ProbeAdapter {
+    fn lock_wait(
+        &self,
+        name: &'static str,
+        _core: usize,
+        _now: SimTime,
+        wait_ns: u64,
+        hold_ns: u64,
+        contended: bool,
+    ) {
+        self.0.inner.borrow_mut().contention.record(
+            name,
+            ResourceKind::Lock,
+            wait_ns,
+            hold_ns,
+            contended,
+        );
+    }
+
+    fn try_lock(&self, name: &'static str, _now: SimTime, acquired: bool, hold_ns: u64) {
+        // A failed try never waits — that is the point of the LCI design;
+        // it only counts as a contended event.
+        self.0.inner.borrow_mut().contention.record(
+            name,
+            ResourceKind::TryLock,
+            0,
+            hold_ns,
+            !acquired,
+        );
+    }
+
+    fn resource_access(
+        &self,
+        name: &'static str,
+        _core: usize,
+        _now: SimTime,
+        wait_ns: u64,
+        service_ns: u64,
+        transferred: bool,
+    ) {
+        self.0.inner.borrow_mut().contention.record(
+            name,
+            ResourceKind::Resource,
+            wait_ns,
+            service_ns,
+            wait_ns > 0 || transferred,
+        );
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Rc<Telemetry>>> = const { RefCell::new(None) };
+}
+
+/// Install a fresh collector on this thread (and hook `simcore::probe`).
+/// Returns the handle; keep it to read reports after [`disable`].
+pub fn enable() -> Rc<Telemetry> {
+    let t = Rc::new(Telemetry::new());
+    ACTIVE.with(|c| *c.borrow_mut() = Some(t.clone()));
+    simcore::probe::install(Rc::new(ProbeAdapter(t.clone())));
+    t
+}
+
+/// Remove the active collector and the contention probe. The returned
+/// handle from [`enable`] stays valid for reading reports.
+pub fn disable() {
+    ACTIVE.with(|c| *c.borrow_mut() = None);
+    simcore::probe::uninstall();
+}
+
+/// Whether a collector is active on this thread.
+pub fn enabled() -> bool {
+    ACTIVE.with(|c| c.borrow().is_some())
+}
+
+/// The active collector, if any.
+pub fn active() -> Option<Rc<Telemetry>> {
+    ACTIVE.with(|c| c.borrow().clone())
+}
+
+/// Run `f` against the active collector; no-op when disabled.
+#[inline]
+pub fn with(f: impl FnOnce(&Telemetry)) {
+    ACTIVE.with(|c| {
+        if let Some(t) = c.borrow().as_deref() {
+            f(t)
+        }
+    });
+}
+
+/// Start a flow (0 when disabled).
+#[inline]
+pub fn flow_begin(src: usize, dst: usize, src_core: usize, t: SimTime) -> u64 {
+    let mut id = 0;
+    with(|tel| id = tel.flow_begin(src, dst, src_core, t));
+    id
+}
+
+/// Mark a stage on one flow; no-op when disabled or `id == 0`.
+#[inline]
+pub fn flow_mark(id: u64, stage: usize, t: SimTime) {
+    if id != 0 {
+        with(|tel| tel.flow_mark(id, stage, t));
+    }
+}
+
+/// Mark a stage on a batch of flows; no-op when disabled or `ids` empty.
+#[inline]
+pub fn flow_mark_many(ids: &[u64], stage: usize, t: SimTime) {
+    if !ids.is_empty() {
+        with(|tel| tel.flow_mark_many(ids, stage, t));
+    }
+}
+
+/// Record the delivering core; no-op when disabled or `ids` empty.
+#[inline]
+pub fn flow_set_dst_core(ids: &[u64], core: usize) {
+    if !ids.is_empty() {
+        with(|tel| tel.flow_set_dst_core(ids, core));
+    }
+}
+
+/// Register a message route for cross-locality stitching.
+#[inline]
+pub fn register_route(src: usize, dst: usize, tag_base: u64, flows: &[u64]) {
+    if !flows.is_empty() {
+        with(|tel| tel.register_route(src, dst, tag_base, flows));
+    }
+}
+
+/// Claim a registered route (empty when disabled or unknown).
+#[inline]
+pub fn take_route(src: usize, dst: usize, tag_base: u64) -> Vec<u64> {
+    let mut flows = Vec::new();
+    with(|tel| flows = tel.take_route(src, dst, tag_base));
+    flows
+}
+
+/// Add to a counter on the active collector.
+#[inline]
+pub fn counter_add(key: &'static str, n: u64) {
+    with(|tel| tel.counter_add(key, n));
+}
+
+/// Record into a histogram on the active collector.
+#[inline]
+pub fn hist_record(key: &'static str, v: u64) {
+    with(|tel| tel.hist_record(key, v));
+}
+
+/// Append a counter-track sample on the active collector.
+#[inline]
+pub fn track_sample(name: &str, t: SimTime, v: f64) {
+    with(|tel| tel.track_sample(name, t, v));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serialize tests touching the thread-local collector.
+    fn with_clean_state(f: impl FnOnce()) {
+        disable();
+        f();
+        disable();
+    }
+
+    #[test]
+    fn disabled_free_functions_are_noops() {
+        with_clean_state(|| {
+            assert!(!enabled());
+            assert_eq!(flow_begin(0, 1, 0, SimTime::ZERO), 0);
+            flow_mark(1, stage::PUT, SimTime::ZERO);
+            counter_add("x", 1);
+            assert!(take_route(0, 1, 5).is_empty());
+            assert!(active().is_none());
+        });
+    }
+
+    #[test]
+    fn enable_collects_and_survives_disable() {
+        with_clean_state(|| {
+            let tel = enable();
+            assert!(enabled());
+            let id = flow_begin(0, 1, 2, SimTime::from_nanos(5));
+            assert_eq!(id, 1);
+            flow_mark(id, stage::DELIVER, SimTime::from_nanos(500));
+            counter_add("parcels", 3);
+            register_route(0, 1, 7, &[id]);
+            assert_eq!(take_route(0, 1, 7), vec![id]);
+            disable();
+            // The handle still reads collected data after disable.
+            assert_eq!(tel.flow_count(), 1);
+            assert_eq!(tel.with_metrics(|m| m.counter("parcels")), 3);
+            assert_eq!(flow_begin(0, 1, 0, SimTime::ZERO), 0);
+        });
+    }
+
+    #[test]
+    fn probe_feeds_contention_table() {
+        with_clean_state(|| {
+            let tel = enable();
+            let mut lock = simcore::SimLock::new("ucp_progress", 500, 200);
+            lock.acquire(0, SimTime::ZERO, 1_000);
+            lock.acquire(1, SimTime::ZERO, 1_000); // convoy: waits
+            let mut tl = simcore::SimTryLock::new("lci.progress");
+            let _ = tl.try_acquire(SimTime::ZERO, 100);
+            let _ = tl.try_acquire(SimTime::ZERO, 100); // busy
+            let mut res = simcore::SimResource::new("nic.tx_post", 50);
+            res.access(SimTime::ZERO, 0, 10);
+            disable();
+            let report = tel.contention_report("test");
+            assert_eq!(report.rows[0].0, "ucp_progress");
+            assert!(report.rows[0].1.total_wait_ns > 0);
+            let names: Vec<_> = report.rows.iter().map(|r| r.0).collect();
+            assert!(names.contains(&"lci.progress") && names.contains(&"nic.tx_post"));
+            // The try-lock never accumulates wait.
+            assert_eq!(tel.with_contention(|c| c.get("lci.progress").unwrap().total_wait_ns), 0);
+        });
+    }
+}

@@ -13,3 +13,4 @@ pub use netsim;
 pub use octotiger_mini;
 pub use parcelport;
 pub use simcore;
+pub use telemetry;

@@ -66,6 +66,46 @@ fn two_node_traces_match_pre_rewrite_engine() {
     }
 }
 
+/// Telemetry must be *pure observation*: with a collector enabled, every
+/// pinned timeline above has to come out bit-for-bit identical — same end
+/// time, same delivery digest, same event count — while the collector
+/// records a complete flow per parcel. (With telemetry disabled, the
+/// hooks compile down to a thread-local `None` check, covered by
+/// `two_node_traces_match_pre_rewrite_engine` running first-class against
+/// the same pins.)
+#[test]
+fn telemetry_enabled_is_pure_observation() {
+    for &(name, end_ns, executed, digest) in GOLDEN {
+        let tel = hpx_lci_repro::telemetry::enable();
+        let mut cfg = WorldConfig::two_nodes(name.parse().unwrap(), 8);
+        cfg.seed = 11;
+        let d = send_all(cfg, payloads());
+        hpx_lci_repro::telemetry::disable();
+        assert_eq!(d.delivered, 40, "{name}: lost deliveries under telemetry");
+        assert_eq!(
+            d.world.sim.now().as_nanos(),
+            end_ns,
+            "{name}: enabling telemetry moved the virtual end time"
+        );
+        assert_eq!(
+            fnv_u64s(&d.checksums),
+            digest,
+            "{name}: enabling telemetry changed delivery order/content"
+        );
+        assert_eq!(
+            d.world.sim.events_executed(),
+            executed,
+            "{name}: enabling telemetry changed the event count"
+        );
+        // And the observation itself must be complete: one flow per
+        // parcel, every one delivered, with the end-to-end stage chain.
+        assert_eq!(tel.flow_count(), 40, "{name}: expected one flow per parcel");
+        let b = tel.breakdown(name);
+        assert_eq!(b.delivered, 40, "{name}: flows lost before delivery");
+        assert!(b.total.summary.count > 0, "{name}: no end-to-end latencies recorded");
+    }
+}
+
 #[test]
 fn octotiger_trace_matches_pre_rewrite_engine() {
     use hpx_lci_repro::octotiger_mini::{run_octotiger, OctoParams};
