@@ -9,6 +9,8 @@ use simcore::{
     CoreClock, CostModel, EventHandler, EventId, HandlerId, Sim, SimResource, SimTime, Tracer,
 };
 
+use telemetry::CoreState;
+
 use crate::action::{ActionId, ActionRegistry};
 use crate::parcel::Parcel;
 use crate::parcel_layer::{ParcelLayer, ParcelLayerConfig};
@@ -203,6 +205,15 @@ impl Locality {
         }
     }
 
+    /// Sample the run-queue depth as a counter track (the `format!` only
+    /// runs when a collector is installed).
+    fn sample_runq(&self, sim: &Sim) {
+        telemetry::with(|tel| {
+            let depth = self.sched.borrow().queue.len();
+            tel.track_sample(&format!("loc{}.runq", self.id), sim.now(), depth as f64);
+        });
+    }
+
     /// Access the action registry.
     pub fn with_registry<R>(&self, f: impl FnOnce(&ActionRegistry) -> R) -> R {
         f(&self.registry.borrow())
@@ -284,6 +295,7 @@ impl Locality {
             done
         };
         sim.stats.bump("amt.spawn");
+        self.sample_runq(sim);
         self.wake_workers(sim, done, 1);
         done
     }
@@ -371,6 +383,7 @@ impl Locality {
         if let Some(task) = task {
             let t_end = task(sim, &self, core).max(t0);
             self.trace(core, "task", now, t_end);
+            telemetry::profile_record(self.id, core, CoreState::Working, "task", now, t_end);
             {
                 let mut s = self.sched.borrow_mut();
                 let charged = t_end - now;
@@ -378,6 +391,7 @@ impl Locality {
                 s.tasks_run += 1;
                 s.backoff[core].reset();
             }
+            self.sample_runq(sim);
             self.arm(sim, core, t_end);
             return;
         }
@@ -388,6 +402,11 @@ impl Locality {
         if bg.did_work {
             self.trace(core, "background", now, t_end);
         }
+        // Charged polling burns the core even when nothing was found —
+        // that is exactly the time the profiler must surface for the
+        // every-worker-polls parcelports.
+        let bg_label = if bg.did_work { "background" } else { "poll" };
+        telemetry::profile_record(self.id, core, CoreState::Progress, bg_label, now, t_end);
         {
             let mut s = self.sched.borrow_mut();
             let charged = t_end - now;
@@ -435,6 +454,8 @@ impl Locality {
         if bg.did_work {
             self.trace(0, "progress", now, t_end);
         }
+        let label = if bg.did_work { "progress" } else { "poll" };
+        telemetry::profile_record(self.id, 0, CoreState::Progress, label, now, t_end);
         self.sched.borrow_mut().cores[0].charge(now, t_end - now);
         if bg.wake_workers {
             self.wake_workers(sim, t_end, bg.completions.max(1));
@@ -578,6 +599,9 @@ impl Locality {
 impl EventHandler for Locality {
     fn on_event(&self, sim: &mut Sim, arg: u64) {
         let this = self.weak.upgrade().expect("locality alive");
+        // Everything nested under this event (parcelport calls, lock
+        // acquires, fabric sends) belongs to this locality's cores.
+        telemetry::profile_set_loc(self.id);
         match arg & EV_TAG_MASK {
             EV_TICK => {
                 let core = (arg >> 2) as usize;

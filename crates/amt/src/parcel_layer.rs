@@ -158,6 +158,13 @@ impl ParcelLayer {
             // connection cache, no aggregation.
             let mut msg = HpxMessage::encode(std::slice::from_ref(&parcel), threshold);
             let t = sim.now() + Self::encode_cost(&cost, &msg, 1);
+            telemetry::profile_overlay(
+                core,
+                telemetry::CoreState::Serialize,
+                "serialize.immediate",
+                sim.now(),
+                t,
+            );
             if flow != 0 {
                 telemetry::flow_mark(flow, telemetry::stage::SERIALIZE, t);
                 msg.flows.push(flow);
@@ -258,6 +265,16 @@ impl ParcelLayer {
             let q = l.queues.get_mut(&dest).expect("dest exists");
             q.res.access(t0, core, encode)
         });
+        // The queueing prefix of `[t0, t1)` is already overlaid as
+        // lock-wait by the resource probe; the serialize overlay sorts
+        // after it and keeps only the service part.
+        telemetry::profile_overlay(
+            core,
+            telemetry::CoreState::Serialize,
+            "serialize.drain",
+            t0,
+            t1,
+        );
         telemetry::flow_mark_many(&msg.flows, telemetry::stage::SERIALIZE, t1);
         loc.with_layer(|l| {
             l.messages_sent += 1;

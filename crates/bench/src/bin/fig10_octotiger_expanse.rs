@@ -14,10 +14,11 @@ use octotiger_mini::{run_octotiger, OctoParams};
 /// The configuration nominated for the `--trace` Chrome export.
 const TRACE_CONFIG: &str = "lci_psr_cq_pin_i";
 
-/// Instrumented pass (`--trace` / `--breakdown` / `--json`): a reduced
-/// 2-node application run per configuration with telemetry enabled; the
-/// Chrome export shows one track per core with parcel flow arrows
-/// crossing the two localities.
+/// Instrumented pass (`--trace` / `--breakdown` / `--json` /
+/// `--profile` / `--folded`): a reduced 2-node application run per
+/// configuration with telemetry enabled; the Chrome export shows one
+/// track per core with parcel flow arrows crossing the two localities,
+/// and `--profile` prints each core's virtual-time state shares.
 fn instrumented_pass(targs: &TraceArgs, scale: f64, configs: &[&str]) {
     let mut sink = TraceSink::new(targs);
     let traced: Vec<&str> =

@@ -5,9 +5,11 @@
 //! rate, then plateaus — except `mpi`, whose achieved rate rises and then
 //! *falls* under pressure; `lci_psr_cq_pin_i` plateaus highest.
 //!
-//! With `--trace FILE` / `--breakdown` / `--json FILE` the harness runs a
-//! reduced instrumented pass instead of the full sweep (see
-//! `bench::trace`).
+//! With `--trace FILE` / `--breakdown` / `--json FILE` / `--profile` /
+//! `--folded FILE` the harness runs a reduced instrumented pass instead
+//! of the full sweep (see `bench::trace`). `--profile` prints the
+//! per-core virtual-time state table; `--folded` writes flamegraph
+//! input.
 
 use bench::report::{fmt_kps, Table};
 use bench::trace::{instrumented, TraceArgs, TraceSink};

@@ -5,10 +5,14 @@
 //! better than `mpi` but crosses over around window 8;
 //! `lci_psr_cq_pin_i` is best at almost every window.
 //!
-//! With `--trace FILE` / `--breakdown` / `--json FILE` the harness runs a
-//! reduced instrumented pass at window 64 instead of the full sweep: a
-//! per-stage latency breakdown and a contention report for every Table-1
-//! configuration (see `bench::trace`).
+//! With `--trace FILE` / `--breakdown` / `--json FILE` / `--profile` /
+//! `--folded FILE` the harness runs a reduced instrumented pass at
+//! window 64 instead of the full sweep: a per-stage latency breakdown,
+//! a contention report, and (with `--profile`) the per-core
+//! virtual-time state table for every Table-1 configuration (see
+//! `bench::trace`). The `--profile` contrast to look for: `mpi` worker
+//! cores burn a large share in progress + lock-wait, while `lci_psr`
+//! variants concentrate progress on the pinned core 0.
 
 use bench::report::{fmt_us, Table};
 use bench::trace::{instrumented, TraceArgs, TraceSink};

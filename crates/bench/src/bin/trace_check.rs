@@ -1,30 +1,49 @@
-//! Validate a Chrome-trace JSON file produced by `--trace`: parse the
-//! event array and check the invariants Perfetto relies on (complete
-//! spans with durations, matched `s`/`f` flow-event pairs, numeric
-//! timestamps, counter samples with values). Exits non-zero on any
-//! violation — the CI trace smoke step runs this over a reduced `fig1`
-//! export.
+//! Validate observability artifacts produced by the figure harnesses.
 //!
-//! Usage: `trace_check FILE [--require-flows]`
+//! Default mode checks a Chrome-trace JSON file produced by `--trace`:
+//! parse the event array and check the invariants Perfetto relies on
+//! (complete spans with durations, matched `s`/`f` flow-event pairs,
+//! numeric timestamps, counter samples with values, counter tracks with
+//! time-ordered samples). `--folded FILE` instead validates a
+//! folded-stack file produced by `--folded` (the `inferno` /
+//! `flamegraph.pl` input format). Exits non-zero on any violation — the
+//! CI trace smoke step runs this over reduced `fig1` exports.
+//!
+//! Usage:
+//!   `trace_check FILE [--require-flows] [--require-counters]`
+//!   `trace_check --folded FILE`
 
 use telemetry::json::{parse, Value};
 
 fn main() {
     let mut path = None;
     let mut require_flows = false;
-    for a in std::env::args().skip(1) {
+    let mut require_counters = false;
+    let mut folded = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--require-flows" => require_flows = true,
+            "--require-counters" => require_counters = true,
+            "--folded" => {
+                folded = true;
+                path = Some(it.next().unwrap_or_else(|| die("--folded needs a file path")));
+            }
             other if path.is_none() => path = Some(other.to_string()),
             other => die(&format!("unexpected argument {other:?}")),
         }
     }
     let path = path.unwrap_or_else(|| {
-        die("usage: trace_check FILE [--require-flows]");
+        die("usage: trace_check FILE [--require-flows] [--require-counters] | --folded FILE");
     });
     let src =
         std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
-    match validate(&src, require_flows) {
+    let result = if folded {
+        validate_folded(&src)
+    } else {
+        validate(&src, require_flows, require_counters)
+    };
+    match result {
         Ok(summary) => println!("{path}: OK — {summary}"),
         Err(e) => die(&format!("{path}: INVALID — {e}")),
     }
@@ -35,7 +54,7 @@ fn die(msg: &str) -> ! {
     std::process::exit(1);
 }
 
-fn validate(src: &str, require_flows: bool) -> Result<String, String> {
+fn validate(src: &str, require_flows: bool, require_counters: bool) -> Result<String, String> {
     let doc = parse(src)?;
     let events = doc.as_arr().ok_or("top level is not an array")?;
     if events.is_empty() {
@@ -46,12 +65,17 @@ fn validate(src: &str, require_flows: bool) -> Result<String, String> {
     let mut starts: Vec<u64> = Vec::new();
     let mut finishes: Vec<u64> = Vec::new();
     let mut tracks = std::collections::BTreeSet::new();
+    // Counter tracks must be internally time-ordered or Perfetto draws
+    // them as garbage; remember the last ts per counter name.
+    let mut counter_last_ts: std::collections::BTreeMap<String, f64> =
+        std::collections::BTreeMap::new();
     for (i, e) in events.iter().enumerate() {
         let ph = e
             .get("ph")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("event {i}: missing \"ph\""))?;
-        e.get("name")
+        let name = e
+            .get("name")
             .and_then(Value::as_str)
             .ok_or_else(|| format!("event {i}: missing \"name\""))?;
         let ts = e
@@ -85,10 +109,23 @@ fn validate(src: &str, require_flows: bool) -> Result<String, String> {
                 if ph == "s" { &mut starts } else { &mut finishes }.push(id as u64);
             }
             "C" => {
-                e.get("args")
+                let v = e
+                    .get("args")
                     .and_then(|a| a.get("value"))
                     .and_then(Value::as_f64)
                     .ok_or_else(|| format!("event {i}: counter without args.value"))?;
+                if !v.is_finite() {
+                    return Err(format!("event {i}: non-finite counter value"));
+                }
+                if let Some(&prev) = counter_last_ts.get(name) {
+                    if ts < prev {
+                        return Err(format!(
+                            "event {i}: counter track {name:?} goes backwards \
+                             ({ts} after {prev})"
+                        ));
+                    }
+                }
+                counter_last_ts.insert(name.to_string(), ts);
                 counters += 1;
             }
             other => return Err(format!("event {i}: unexpected phase {other:?}")),
@@ -106,10 +143,50 @@ fn validate(src: &str, require_flows: bool) -> Result<String, String> {
     if require_flows && starts.is_empty() {
         return Err("no flow events (expected at least one traced parcel)".into());
     }
+    if require_counters && counter_last_ts.is_empty() {
+        return Err("no counter tracks (expected at least one sampled series)".into());
+    }
     Ok(format!(
-        "{} events: {spans} spans on {} tracks, {} flow arrows, {counters} counter samples",
+        "{} events: {spans} spans on {} tracks, {} flow arrows, \
+         {counters} counter samples on {} counter tracks",
         events.len(),
         tracks.len(),
-        starts.len()
+        starts.len(),
+        counter_last_ts.len()
     ))
+}
+
+/// Validate a folded-stack file: every line is `frame;frame;... WEIGHT`
+/// with at least one non-empty `;`-separated frame and a non-negative
+/// integer weight — exactly what `inferno-flamegraph` / `flamegraph.pl`
+/// consume. Requires at least one stack.
+fn validate_folded(src: &str) -> Result<String, String> {
+    let mut lines = 0usize;
+    let mut total: u64 = 0;
+    let mut max_depth = 0usize;
+    for (i, line) in src.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let (stack, weight) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no space-separated weight", i + 1))?;
+        let w: u64 = weight.parse().map_err(|_| {
+            format!("line {}: weight {weight:?} is not a non-negative integer", i + 1)
+        })?;
+        if stack.is_empty() {
+            return Err(format!("line {}: empty stack", i + 1));
+        }
+        let frames: Vec<&str> = stack.split(';').collect();
+        if frames.iter().any(|f| f.is_empty()) {
+            return Err(format!("line {}: empty frame in {stack:?}", i + 1));
+        }
+        max_depth = max_depth.max(frames.len());
+        total += w;
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err("no stacks (empty folded file)".into());
+    }
+    Ok(format!("{lines} stacks, total weight {total}, max depth {max_depth}"))
 }

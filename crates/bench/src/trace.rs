@@ -10,6 +10,12 @@
 //!   contention attribution ("top resources by wait time") of every
 //!   instrumented configuration.
 //! * `--json FILE` — write the same reports machine-readable.
+//! * `--profile` — print the virtual-time core profile: a ranked
+//!   per-core state table (working / progress / lock-wait / serialize /
+//!   idle shares) plus counter-track sparklines (run queues, in-flight
+//!   parcels, link busy time).
+//! * `--folded FILE` — write folded stacks (`config;core;state;leaf N`
+//!   lines) for `inferno` / `flamegraph.pl`.
 //!
 //! When any flag is present the harness runs a reduced *instrumented
 //! pass* instead of the full figure sweep: telemetry accumulates per
@@ -29,6 +35,10 @@ pub struct TraceArgs {
     pub breakdown: bool,
     /// Machine-readable report path (`--json FILE`).
     pub json: Option<String>,
+    /// Print the per-core virtual-time profile (`--profile`).
+    pub profile: bool,
+    /// Folded-stack (flamegraph) output path (`--folded FILE`).
+    pub folded: Option<String>,
 }
 
 impl TraceArgs {
@@ -42,10 +52,13 @@ impl TraceArgs {
                 "--trace" => out.trace = Some(it.next().expect("--trace needs a file path")),
                 "--breakdown" => out.breakdown = true,
                 "--json" => out.json = Some(it.next().expect("--json needs a file path")),
+                "--profile" => out.profile = true,
+                "--folded" => out.folded = Some(it.next().expect("--folded needs a file path")),
                 other => {
                     eprintln!(
                         "unknown argument {other:?} \
-                         (supported: --trace FILE, --breakdown, --json FILE)"
+                         (supported: --trace FILE, --breakdown, --json FILE, \
+                         --profile, --folded FILE)"
                     );
                     std::process::exit(2);
                 }
@@ -56,13 +69,17 @@ impl TraceArgs {
 
     /// Whether an instrumented pass was requested.
     pub fn active(&self) -> bool {
-        self.trace.is_some() || self.breakdown || self.json.is_some()
+        self.trace.is_some()
+            || self.breakdown
+            || self.json.is_some()
+            || self.profile
+            || self.folded.is_some()
     }
 
     /// Whether per-config reports (rather than just one Chrome trace)
     /// were requested — decides how many configs the pass covers.
     pub fn wants_reports(&self) -> bool {
-        self.breakdown || self.json.is_some()
+        self.breakdown || self.json.is_some() || self.profile || self.folded.is_some()
     }
 }
 
@@ -82,12 +99,13 @@ pub fn instrumented<R>(f: impl FnOnce() -> R) -> (R, Rc<Telemetry>) {
 pub struct TraceSink {
     args: TraceArgs,
     json_docs: Vec<String>,
+    folded_docs: Vec<String>,
 }
 
 impl TraceSink {
     /// A sink honoring `args`.
     pub fn new(args: &TraceArgs) -> TraceSink {
-        TraceSink { args: args.clone(), json_docs: Vec::new() }
+        TraceSink { args: args.clone(), json_docs: Vec::new(), folded_docs: Vec::new() }
     }
 
     /// Emit the reports of one instrumented run. The Chrome trace file is
@@ -99,11 +117,20 @@ impl TraceSink {
             print!("{}", tel.contention_report(config).to_text());
             println!();
         }
+        if self.args.profile {
+            print!("{}", tel.core_report(config).to_text());
+            print!("{}", track_sparklines(tel));
+            println!();
+        }
+        if self.args.folded.is_some() {
+            self.folded_docs.push(tel.folded_stacks(config));
+        }
         if self.args.json.is_some() {
             self.json_docs.push(format!(
-                "{{\"breakdown\":{},\"contention\":{}}}",
+                "{{\"breakdown\":{},\"contention\":{},\"core_profile\":{}}}",
                 tel.breakdown(config).to_json(),
-                tel.contention_report(config).to_json()
+                tel.contention_report(config).to_json(),
+                tel.core_report(config).to_json()
             ));
         }
         if write_trace {
@@ -118,12 +145,40 @@ impl TraceSink {
         }
     }
 
-    /// Write the machine-readable report file, if requested.
+    /// Write the machine-readable report and folded-stack files, if
+    /// requested.
     pub fn finish(self) {
         if let Some(path) = &self.args.json {
             std::fs::write(path, format!("[{}]", self.json_docs.join(",")))
                 .expect("write json report");
             println!("wrote machine-readable reports -> {path}");
         }
+        if let Some(path) = &self.args.folded {
+            let doc = self.folded_docs.concat();
+            std::fs::write(path, &doc).expect("write folded stacks");
+            println!(
+                "wrote {} folded stacks -> {path} (render: inferno-flamegraph < {path})",
+                doc.lines().count()
+            );
+        }
     }
+}
+
+/// Render every counter track the run produced as a terminal sparkline —
+/// queue depths, in-flight parcels, and per-link busy time at a glance.
+fn track_sparklines(tel: &Telemetry) -> String {
+    use telemetry::profile::{resample, sparkline};
+    tel.with_metrics(|m| {
+        let horizon = m.tracks().flat_map(|(_, s)| s.iter().map(|&(t, _)| t)).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, series) in m.tracks() {
+            let buckets = resample(series, horizon, 48);
+            let peak = series.iter().map(|&(_, v)| v).fold(0.0_f64, f64::max);
+            out.push_str(&format!("  {name:<24} {} peak {peak:.1}\n", sparkline(&buckets)));
+        }
+        if !out.is_empty() {
+            out.insert_str(0, "counter tracks (full horizon, 48 buckets):\n");
+        }
+        out
+    })
 }

@@ -431,6 +431,7 @@ impl Device {
         match self.progress_lock.try_acquire(now, 0) {
             TryAcquire::Busy { free_at } => {
                 sim.stats.bump("lci.progress_busy");
+                telemetry::counter_add("lci.progress_busy", 1);
                 ProgressOutcome::Busy { cpu_done: now + self.cost.atomic_op, free_at }
             }
             TryAcquire::Acquired { .. } => {
@@ -465,6 +466,8 @@ impl Device {
                 }
                 self.progress_lock.extend(t);
                 sim.stats.bump("lci.progress");
+                telemetry::counter_add("lci.progress_polls", 1);
+                telemetry::counter_add("lci.progress_handled", handled as u64);
                 ProgressOutcome::Ran { handled, cpu_done: t, next_arrival }
             }
         }

@@ -191,6 +191,8 @@ impl Comm {
         let grant = self.lock.acquire(core, start, hold);
         sim.stats.sample("mpi.lock_wait_ns", (grant.start - start) as f64);
         sim.stats.bump("mpi.isend");
+        telemetry::counter_add("mpi.isend_calls", 1);
+        telemetry::hist_record("mpi.lock_wait_ns", grant.start - start);
         let req = if eager {
             self.fabric.borrow_mut().send(
                 sim,
@@ -249,6 +251,8 @@ impl Comm {
         let grant = self.lock.acquire(core, start, hold);
         sim.stats.sample("mpi.lock_wait_ns", (grant.start - start) as f64);
         sim.stats.bump("mpi.irecv");
+        telemetry::counter_add("mpi.irecv_calls", 1);
+        telemetry::hist_record("mpi.lock_wait_ns", grant.start - start);
         let req = Request::pending();
         if let Some(i) = pos {
             let m = self.unexpected.remove(i);
@@ -297,6 +301,8 @@ impl Comm {
         let grant = self.lock.acquire(core, start, hold);
         sim.stats.sample("mpi.lock_wait_ns", (grant.start - start) as f64);
         sim.stats.bump("mpi.test");
+        telemetry::counter_add("mpi.test_calls", 1);
+        telemetry::hist_record("mpi.lock_wait_ns", grant.start - start);
         (req.is_done(), grant.end)
     }
 

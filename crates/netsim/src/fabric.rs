@@ -91,6 +91,9 @@ pub struct Fabric {
     sent: u64,
     delivered: u64,
     bytes_sent: u64,
+    /// Per-source-node cumulative wire busy time (injection/serialization),
+    /// the numerator of per-link utilization.
+    link_busy: Vec<u64>,
 }
 
 impl Fabric {
@@ -117,6 +120,7 @@ impl Fabric {
             sent: 0,
             delivered: 0,
             bytes_sent: 0,
+            link_busy: vec![0; nodes],
             model,
         }
     }
@@ -180,10 +184,21 @@ impl Fabric {
         let busy = self.model.injection_time(pkt.len());
         self.wire_free[src] = inj_start + busy;
         let deliver_at = self.wire_free[src] + self.model.latency_ns;
+        self.link_busy[src] += busy;
 
         self.sent += 1;
         self.bytes_sent += pkt.len() as u64;
         sim.stats.bump("net.sent");
+        // Per-link utilization track: cumulative wire-busy µs, sampled at
+        // the instant the link frees (the `with` guard keeps the disabled
+        // path allocation-free).
+        telemetry::with(|tel| {
+            tel.track_sample(
+                &format!("net.link{src}.busy_us"),
+                self.wire_free[src],
+                self.link_busy[src] as f64 / 1e3,
+            );
+        });
 
         let chan = self.chan(src, dst, ctx);
         let dup =
@@ -287,6 +302,20 @@ impl Fabric {
     /// Total payload bytes sent.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    /// Cumulative wire-busy time of `node`'s TX link, ns.
+    pub fn link_busy_ns(&self, node: NodeId) -> u64 {
+        self.link_busy[node]
+    }
+
+    /// Utilization of `node`'s TX link over `[0, now]`.
+    pub fn link_utilization(&self, node: NodeId, now: SimTime) -> f64 {
+        if now.as_nanos() == 0 {
+            0.0
+        } else {
+            self.link_busy[node] as f64 / now.as_nanos() as f64
+        }
     }
 }
 
@@ -466,6 +495,21 @@ mod tests {
             }
         }
         assert_eq!(tags, vec![1, 0]);
+    }
+
+    #[test]
+    fn link_busy_tracks_wire_serialization() {
+        let mut sim = Sim::new(1);
+        let mut fab = Fabric::new(2, WireModel::expanse());
+        assert_eq!(fab.link_busy_ns(0), 0);
+        fab.send(&mut sim, 0, SimTime::ZERO, pkt(0, 1, 0, 64));
+        let one = fab.link_busy_ns(0);
+        assert!(one > 0);
+        fab.send(&mut sim, 0, SimTime::ZERO, pkt(0, 1, 1, 64));
+        assert_eq!(fab.link_busy_ns(0), 2 * one);
+        assert_eq!(fab.link_busy_ns(1), 0, "receiver's TX link stays idle");
+        assert!(fab.link_utilization(0, SimTime::from_millis(1)) > 0.0);
+        assert_eq!(fab.link_utilization(0, SimTime::ZERO), 0.0);
     }
 
     #[test]

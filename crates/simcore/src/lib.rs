@@ -31,6 +31,7 @@
 
 pub mod cost;
 pub mod event;
+pub mod json;
 pub mod lock;
 pub mod probe;
 pub mod resource;
@@ -41,13 +42,14 @@ pub mod trace;
 
 pub use cost::CostModel;
 pub use event::{ClosureFn, EventHandler, EventId, HandlerId, OnceFn};
+pub use json::escape_json;
 pub use lock::{SimLock, SimTryLock, TryAcquire};
 pub use probe::Probe;
 pub use resource::SimResource;
 pub use sim::Sim;
 pub use stats::{Stats, Summary};
 pub use time::SimTime;
-pub use trace::{escape_json, Span, Tracer};
+pub use trace::{Span, Tracer};
 
 /// A simulated CPU core's private clock.
 ///

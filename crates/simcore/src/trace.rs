@@ -6,34 +6,10 @@
 //! `Option` the caller owns; hot paths call [`Tracer::span`] only when
 //! they hold one.
 
-use std::borrow::Cow;
 use std::fmt::Write as _;
 
+use crate::json::escape_json;
 use crate::time::SimTime;
-
-/// Escape a string for inclusion inside a JSON string literal.
-///
-/// Borrows when no escaping is needed (the common case for track/label
-/// names), so callers pay no allocation unless the input actually contains
-/// `"`, `\` or control characters.
-pub fn escape_json(s: &str) -> Cow<'_, str> {
-    if s.bytes().all(|b| b != b'"' && b != b'\\' && b >= 0x20) {
-        return Cow::Borrowed(s);
-    }
-    let mut out = String::with_capacity(s.len() + 8);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).expect("write to string"),
-            c => out.push(c),
-        }
-    }
-    Cow::Owned(out)
-}
 
 /// One recorded span of virtual time.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -171,13 +147,6 @@ mod tests {
         t.span("track\"with\\quotes", "progress", SimTime::ZERO, SimTime::from_nanos(10));
         let json = t.to_chrome_json();
         assert!(json.contains("\"tid\":\"track\\\"with\\\\quotes\""), "json: {json}");
-    }
-
-    #[test]
-    fn escape_json_borrows_when_clean() {
-        assert!(matches!(escape_json("loc0/core1"), Cow::Borrowed(_)));
-        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-        assert_eq!(escape_json("\u{1}"), "\\u0001");
     }
 
     #[test]

@@ -86,7 +86,12 @@ pub fn chrome_trace(spans: &[Span], flows: &[FlowRec], metrics: &Metrics) -> Str
     }
 
     for (name, series) in metrics.tracks() {
-        for &(t, v) in series {
+        // Samples arrive in event-execution order, but some are stamped
+        // with future instants (delivery times, wire-free times), so
+        // each track must be re-sorted to keep its timeline monotone.
+        let mut series = series.to_vec();
+        series.sort_by_key(|s| s.0);
+        for &(t, v) in &series {
             sep(&mut out);
             let _ = write!(
                 out,

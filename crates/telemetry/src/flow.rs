@@ -109,22 +109,26 @@ impl FlowTracer {
     }
 
     /// Record `stage` for flow `id` at `t`. First mark wins (retries keep
-    /// the earliest entry into a stage); id 0 is ignored.
-    pub fn mark(&mut self, id: u64, stage: usize, t: SimTime) {
+    /// the earliest entry into a stage); id 0 is ignored. Returns whether
+    /// the stage was newly set (callers maintain in-flight counts on the
+    /// first DELIVER mark only).
+    pub fn mark(&mut self, id: u64, stage: usize, t: SimTime) -> bool {
         if id == 0 {
-            return;
+            return false;
         }
         let slot = &mut self.flows[id as usize - 1].stages[stage];
         if *slot == UNSET {
             *slot = t.as_nanos();
+            true
+        } else {
+            false
         }
     }
 
-    /// [`FlowTracer::mark`] over a batch of ids.
-    pub fn mark_many(&mut self, ids: &[u64], stage: usize, t: SimTime) {
-        for &id in ids {
-            self.mark(id, stage, t);
-        }
+    /// [`FlowTracer::mark`] over a batch of ids; returns how many stages
+    /// were newly set.
+    pub fn mark_many(&mut self, ids: &[u64], stage: usize, t: SimTime) -> usize {
+        ids.iter().filter(|&&id| self.mark(id, stage, t)).count()
     }
 
     /// Record the core that handled delivery for `ids`.

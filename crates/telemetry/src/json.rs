@@ -4,6 +4,14 @@
 //! Supports the full JSON grammar the exporters emit: objects, arrays,
 //! strings with escapes, numbers, booleans, null. Not optimized — it is a
 //! test/validation tool, not a runtime dependency of the simulator.
+//!
+//! String *escaping* lives in one place for the whole workspace:
+//! [`simcore::json::escape_json`], re-exported here so telemetry code can
+//! keep importing `crate::json::escape_json`. The round-trip tests below
+//! pin the contract between that escaper and this parser on hostile
+//! inputs.
+
+pub use simcore::escape_json;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -267,5 +275,60 @@ mod tests {
     fn empty_containers() {
         assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
         assert_eq!(parse("{}").unwrap(), Value::Obj(vec![]));
+    }
+
+    /// `parse(escape_json(s))` must reproduce `s` exactly for any input —
+    /// the workspace-wide contract between the shared escaper and this
+    /// parser.
+    fn round_trips(s: &str) -> bool {
+        parse(&format!("\"{}\"", escape_json(s))).map(|v| v.as_str() == Some(s)).unwrap_or(false)
+    }
+
+    #[test]
+    fn escape_round_trips_hostile_inputs() {
+        for s in [
+            "",
+            "plain",
+            "quote\" backslash\\ slash/",
+            "newline\n carriage\r tab\t",
+            "\u{0}\u{1}\u{1f}",                  // raw control chars
+            "\\u0041 not an escape",             // escape-looking literal
+            "{\"nested\":[\"json\"]}",           // json-in-a-string
+            "多字节 🌍 ütf-8",                   // multibyte
+            "mixed \"\\\n\u{7}🌍\u{1b}[31mansi", // everything at once
+        ] {
+            assert!(round_trips(s), "failed round trip: {s:?}");
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary BMP strings (multibyte and unassigned points
+            /// included) survive the escape → parse round trip
+            /// byte-identically.
+            #[test]
+            fn escape_parse_round_trip(
+                points in proptest::collection::vec(any::<u16>(), 0..64)
+            ) {
+                let s: String = points
+                    .iter()
+                    .map(|&p| char::from_u32(p as u32).unwrap_or('\u{fffd}'))
+                    .collect();
+                prop_assert!(round_trips(&s), "failed round trip: {}", s.escape_debug());
+            }
+
+            /// Arbitrary ASCII strings with forced control chars.
+            #[test]
+            fn escape_parse_round_trip_controls(
+                bytes in proptest::collection::vec(any::<u8>(), 0..64)
+            ) {
+                let s: String =
+                    bytes.iter().map(|&b| char::from_u32(b as u32 % 0x80).unwrap()).collect();
+                prop_assert!(round_trips(&s), "failed round trip: {}", s.escape_debug());
+            }
+        }
     }
 }

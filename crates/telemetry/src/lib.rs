@@ -14,7 +14,12 @@
 //! * **contention attribution** ([`ContentionTable`]): wait-vs-service
 //!   time per named `SimLock`/`SimTryLock`/`SimResource`, fed through
 //!   `simcore::probe`, ranked by total wait
-//!   ([`report::ContentionReport`]).
+//!   ([`report::ContentionReport`]);
+//! * a **virtual-time core profiler** ([`CoreProfile`]): per-core
+//!   `working/progress/lock-wait/serialize/idle` accounting whose state
+//!   durations partition each core's elapsed virtual time exactly, with
+//!   folded-stack flamegraph output and a ranked core-time report (see
+//!   [`profile`]).
 //!
 //! ## Enable/disable
 //!
@@ -31,6 +36,7 @@ pub mod flow;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 
 use std::cell::RefCell;
@@ -41,6 +47,7 @@ use simcore::{SimTime, Span};
 pub use flow::{stage, FlowRec, FlowTracer, STAGE_NAMES};
 pub use hist::Histogram;
 pub use metrics::{ContentionStat, ContentionTable, Metrics, ResourceKind};
+pub use profile::{CoreProfile, CoreState, CoreTimeReport};
 pub use report::{Breakdown, ContentionReport};
 
 /// The collector: metrics + flows + contention, behind one `RefCell`.
@@ -55,6 +62,10 @@ struct Inner {
     flows: FlowTracer,
     contention: ContentionTable,
     spans: Vec<Span>,
+    profile: CoreProfile,
+    /// Parcels begun but not yet delivered, sampled as the
+    /// `parcels.in_flight` counter track.
+    in_flight: i64,
 }
 
 impl Telemetry {
@@ -85,18 +96,36 @@ impl Telemetry {
 
     /// Start a parcel flow; returns its id (0 when the tracer is full).
     pub fn flow_begin(&self, src: usize, dst: usize, src_core: usize, t: SimTime) -> u64 {
-        self.inner.borrow_mut().flows.begin(src, dst, src_core, t)
+        let inner = &mut *self.inner.borrow_mut();
+        let id = inner.flows.begin(src, dst, src_core, t);
+        if id != 0 {
+            inner.in_flight += 1;
+            let v = inner.in_flight as f64;
+            inner.metrics.track_sample("parcels.in_flight", t.as_nanos(), v);
+        }
+        id
     }
 
     /// Mark `stage` on one flow.
     pub fn flow_mark(&self, id: u64, stage: usize, t: SimTime) {
-        self.inner.borrow_mut().flows.mark(id, stage, t);
+        let inner = &mut *self.inner.borrow_mut();
+        if inner.flows.mark(id, stage, t) && stage == stage::DELIVER {
+            inner.in_flight -= 1;
+            let v = inner.in_flight as f64;
+            inner.metrics.track_sample("parcels.in_flight", t.as_nanos(), v);
+        }
     }
 
     /// Mark `stage` on a batch of flows.
     pub fn flow_mark_many(&self, ids: &[u64], stage: usize, t: SimTime) {
         if !ids.is_empty() {
-            self.inner.borrow_mut().flows.mark_many(ids, stage, t);
+            let inner = &mut *self.inner.borrow_mut();
+            let newly = inner.flows.mark_many(ids, stage, t);
+            if newly > 0 && stage == stage::DELIVER {
+                inner.in_flight -= newly as i64;
+                let v = inner.in_flight as f64;
+                inner.metrics.track_sample("parcels.in_flight", t.as_nanos(), v);
+            }
         }
     }
 
@@ -150,6 +179,66 @@ impl Telemetry {
         }
     }
 
+    /// Set the locality whose event handler is currently executing, so
+    /// probe-driven profiler overlays attribute to the right locality.
+    pub fn profile_set_loc(&self, loc: usize) {
+        self.inner.borrow_mut().profile.set_loc(loc);
+    }
+
+    /// Record a scheduler-level (base) profiler interval on `(loc, core)`.
+    pub fn profile_record(
+        &self,
+        loc: usize,
+        core: usize,
+        state: CoreState,
+        label: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.inner.borrow_mut().profile.record_base(
+            loc,
+            core,
+            state,
+            label,
+            start.as_nanos(),
+            end.as_nanos(),
+        );
+    }
+
+    /// Record a probe-level (overlay) profiler interval on `core` of the
+    /// current locality.
+    pub fn profile_overlay(
+        &self,
+        core: usize,
+        state: CoreState,
+        label: &'static str,
+        start: SimTime,
+        end: SimTime,
+    ) {
+        self.inner.borrow_mut().profile.record_overlay_here(
+            core,
+            state,
+            label,
+            start.as_nanos(),
+            end.as_nanos(),
+        );
+    }
+
+    /// Read access to the core profile.
+    pub fn with_profile<R>(&self, f: impl FnOnce(&CoreProfile) -> R) -> R {
+        f(&self.inner.borrow().profile)
+    }
+
+    /// Build the ranked core-time report for `config`.
+    pub fn core_report(&self, config: &str) -> CoreTimeReport {
+        self.inner.borrow().profile.report(config)
+    }
+
+    /// Render folded-stack flamegraph lines for `config`.
+    pub fn folded_stacks(&self, config: &str) -> String {
+        self.inner.borrow().profile.folded(config)
+    }
+
     /// Deposit engine spans (drained from per-locality `simcore::Tracer`s
     /// — `parcelport::World` does this automatically on drop).
     pub fn add_spans(&self, spans: impl IntoIterator<Item = Span>) {
@@ -181,19 +270,25 @@ impl simcore::Probe for ProbeAdapter {
     fn lock_wait(
         &self,
         name: &'static str,
-        _core: usize,
-        _now: SimTime,
+        core: usize,
+        now: SimTime,
         wait_ns: u64,
         hold_ns: u64,
         contended: bool,
     ) {
-        self.0.inner.borrow_mut().contention.record(
-            name,
-            ResourceKind::Lock,
-            wait_ns,
-            hold_ns,
-            contended,
-        );
+        let inner = &mut *self.0.inner.borrow_mut();
+        inner.contention.record(name, ResourceKind::Lock, wait_ns, hold_ns, contended);
+        // The wait interval `[now, now+wait)` is spin time on `core`; the
+        // profiler carves it out of whatever base interval encloses it.
+        if wait_ns > 0 {
+            inner.profile.record_overlay_here(
+                core,
+                CoreState::LockWait,
+                name,
+                now.as_nanos(),
+                now.as_nanos() + wait_ns,
+            );
+        }
     }
 
     fn try_lock(&self, name: &'static str, _now: SimTime, acquired: bool, hold_ns: u64) {
@@ -211,19 +306,30 @@ impl simcore::Probe for ProbeAdapter {
     fn resource_access(
         &self,
         name: &'static str,
-        _core: usize,
-        _now: SimTime,
+        core: usize,
+        now: SimTime,
         wait_ns: u64,
         service_ns: u64,
         transferred: bool,
     ) {
-        self.0.inner.borrow_mut().contention.record(
+        let inner = &mut *self.0.inner.borrow_mut();
+        inner.contention.record(
             name,
             ResourceKind::Resource,
             wait_ns,
             service_ns,
             wait_ns > 0 || transferred,
         );
+        // Queueing on a serialized resource is lock-wait-like core time.
+        if wait_ns > 0 {
+            inner.profile.record_overlay_here(
+                core,
+                CoreState::LockWait,
+                name,
+                now.as_nanos(),
+                now.as_nanos() + wait_ns,
+            );
+        }
     }
 }
 
@@ -331,6 +437,42 @@ pub fn hist_record(key: &'static str, v: u64) {
 #[inline]
 pub fn track_sample(name: &str, t: SimTime, v: f64) {
     with(|tel| tel.track_sample(name, t, v));
+}
+
+/// Set the profiler's current-locality context; no-op when disabled.
+#[inline]
+pub fn profile_set_loc(loc: usize) {
+    with(|tel| tel.profile_set_loc(loc));
+}
+
+/// Record a base profiler interval; no-op when disabled or empty.
+#[inline]
+pub fn profile_record(
+    loc: usize,
+    core: usize,
+    state: CoreState,
+    label: &'static str,
+    start: SimTime,
+    end: SimTime,
+) {
+    if end > start {
+        with(|tel| tel.profile_record(loc, core, state, label, start, end));
+    }
+}
+
+/// Record an overlay profiler interval on the current locality; no-op
+/// when disabled or empty.
+#[inline]
+pub fn profile_overlay(
+    core: usize,
+    state: CoreState,
+    label: &'static str,
+    start: SimTime,
+    end: SimTime,
+) {
+    if end > start {
+        with(|tel| tel.profile_overlay(core, state, label, start, end));
+    }
 }
 
 #[cfg(test)]
