@@ -5,6 +5,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::{Rc, Weak};
 
+use simcore::causal::{self, MarkKind};
 use simcore::{
     CoreClock, CostModel, EventHandler, EventId, HandlerId, Sim, SimResource, SimTime, Tracer,
 };
@@ -337,7 +338,9 @@ impl Locality {
         } else {
             // Worker threads poll opportunistically: they notice the
             // event one polling period later than a spinning thread.
-            let at = at + self.cost.worker_poll_skew;
+            let skewed = at + self.cost.worker_poll_skew;
+            causal::mark("worker.poll_skew", MarkKind::Wait, at, skewed, 0);
+            let at = skewed;
             self.wake_workers(sim, at, 1);
             // Ensure at least one worker will look even if all are busy:
             // the earliest-free worker checks right after it frees up.

@@ -22,6 +22,7 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use simcore::causal::{self, MarkKind};
 use simcore::{CostModel, Sim, SimResource, SimTime};
 
 use crate::locality::Locality;
@@ -165,6 +166,7 @@ impl ParcelLayer {
                 sim.now(),
                 t,
             );
+            causal::mark("amt.serialize", MarkKind::Work, sim.now(), t, 0);
             if flow != 0 {
                 telemetry::flow_mark(flow, telemetry::stage::SERIALIZE, t);
                 msg.flows.push(flow);
@@ -275,6 +277,10 @@ impl ParcelLayer {
             t0,
             t1,
         );
+        // The queue resource emitted its own wait mark for the prefix of
+        // `[t0, t1)`; this mark (later in emission order) claims only the
+        // remaining service part under the critical-path carve.
+        causal::mark("amt.serialize", MarkKind::Work, t0, t1, 0);
         telemetry::flow_mark_many(&msg.flows, telemetry::stage::SERIALIZE, t1);
         loc.with_layer(|l| {
             l.messages_sent += 1;

@@ -9,6 +9,7 @@
 use bench::bench_scale;
 use bench::report::Table;
 use bench::trace::{instrumented, TraceArgs, TraceSink};
+use bench::{whatif_json, whatif_sweep, whatif_text};
 use octotiger_mini::{run_octotiger, OctoParams};
 
 /// The configuration nominated for the `--trace` Chrome export.
@@ -38,13 +39,46 @@ fn instrumented_pass(targs: &TraceArgs, scale: f64, configs: &[&str]) {
     sink.finish();
 }
 
+/// What-if pass (`--whatif KNOBS`): predicted-vs-measured speedups on a
+/// reduced 2-node application run; writes `BENCH_whatif.json`.
+fn whatif_pass(targs: &TraceArgs, scale: f64) {
+    let knobs = targs.whatif_knobs().expect("--whatif parsed");
+    let base = OctoParams::expanse(TRACE_CONFIG.parse().unwrap(), 2);
+    println!("what-if pass: 2 nodes, {} knobs on {TRACE_CONFIG}", knobs.len());
+    let (cp, rows) = whatif_sweep(
+        base.config,
+        base.cost.clone(),
+        base.wire.clone(),
+        &knobs,
+        |cfg, cost, wire| {
+            let mut p = base.clone();
+            p.config = cfg;
+            p.cost = cost;
+            p.wire = wire;
+            p.level = 4;
+            p.steps = if scale < 1.0 { 2 } else { 3 };
+            let r = run_octotiger(&p);
+            assert!(r.mass_ok, "{cfg}: invariant violated");
+        },
+    );
+    print!("{}", whatif_text(TRACE_CONFIG, &rows, None));
+    let json = whatif_json(TRACE_CONFIG, &cp, &rows, None);
+    std::fs::write("BENCH_whatif.json", json).expect("write BENCH_whatif.json");
+    println!("wrote BENCH_whatif.json");
+}
+
 fn main() {
     let scale = bench_scale();
     let nodes = [2usize, 4, 8, 16, 32];
     let configs = ["mpi", "mpi_i", "lci_psr_cq_pin_i"];
     let targs = TraceArgs::parse();
     if targs.active() {
-        instrumented_pass(&targs, scale, &configs);
+        if targs.whatif.is_some() {
+            whatif_pass(&targs, scale);
+        }
+        if targs.trace.is_some() || targs.wants_reports() || targs.critpath {
+            instrumented_pass(&targs, scale, &configs);
+        }
         return;
     }
 

@@ -13,7 +13,10 @@
 
 use bench::report::{fmt_kps, Table};
 use bench::trace::{instrumented, TraceArgs, TraceSink};
-use bench::{bench_scale, injection_grid_8b, run_msgrate, sweep_injection, MsgRateParams};
+use bench::{
+    bench_scale, injection_grid_8b, run_msgrate, sweep_injection, whatif_json, whatif_sweep,
+    whatif_text, MsgRateParams,
+};
 
 /// The configuration nominated for the `--trace` Chrome export (the
 /// paper's best performer).
@@ -36,12 +39,45 @@ fn instrumented_pass(targs: &TraceArgs, scale: f64, configs: &[&str]) {
     sink.finish();
 }
 
+/// What-if pass (`--whatif KNOBS`): predicted-vs-measured speedups on
+/// the unlimited-injection message-rate scenario; writes
+/// `BENCH_whatif.json`.
+fn whatif_pass(targs: &TraceArgs, scale: f64) {
+    let knobs = targs.whatif_knobs().expect("--whatif parsed");
+    let total_msgs = ((10_000f64 * scale) as usize).max(1_000);
+    println!("what-if pass: unlimited injection, {} knobs on {TRACE_CONFIG}", knobs.len());
+    let base = MsgRateParams::small(TRACE_CONFIG.parse().unwrap());
+    let (cp, rows) = whatif_sweep(
+        base.config,
+        base.cost.clone(),
+        base.wire.clone(),
+        &knobs,
+        |cfg, cost, wire| {
+            let mut p = base.clone();
+            p.config = cfg;
+            p.cost = cost;
+            p.wire = wire;
+            p.total_msgs = total_msgs;
+            run_msgrate(&p);
+        },
+    );
+    print!("{}", whatif_text(TRACE_CONFIG, &rows, None));
+    let json = whatif_json(TRACE_CONFIG, &cp, &rows, None);
+    std::fs::write("BENCH_whatif.json", json).expect("write BENCH_whatif.json");
+    println!("wrote BENCH_whatif.json");
+}
+
 fn main() {
     let scale = bench_scale();
     let configs = ["lci_psr_cq_pin", "lci_psr_cq_pin_i", "mpi", "mpi_i"];
     let targs = TraceArgs::parse();
     if targs.active() {
-        instrumented_pass(&targs, scale, &configs);
+        if targs.whatif.is_some() {
+            whatif_pass(&targs, scale);
+        }
+        if targs.trace.is_some() || targs.wants_reports() || targs.critpath {
+            instrumented_pass(&targs, scale, &configs);
+        }
         return;
     }
     println!("Figure 1: achieved message rate (K/s), 8B messages, batch 100");

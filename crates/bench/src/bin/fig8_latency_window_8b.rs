@@ -13,10 +13,19 @@
 //! `bench::trace`). The `--profile` contrast to look for: `mpi` worker
 //! cores burn a large share in progress + lock-wait, while `lci_psr`
 //! variants concentrate progress on the pinned core 0.
+//!
+//! `--critpath` prints the causal critical-path report per configuration
+//! (and highlights the path in the `--trace` export); `--whatif KNOBS`
+//! runs the predicted-vs-measured speedup sweep plus the five-mechanism
+//! attribution of the window-64 MPI-vs-LCI gap, writing
+//! `BENCH_whatif.json`.
 
 use bench::report::{fmt_us, Table};
 use bench::trace::{instrumented, TraceArgs, TraceSink};
-use bench::{bench_scale, run_latency, LatencyParams};
+use bench::{
+    bench_scale, five_mechanism_attribution, run_latency, whatif_json, whatif_latency, whatif_text,
+    LatencyParams,
+};
 use parcelport::PpConfig;
 
 /// The configuration nominated for the `--trace` Chrome export.
@@ -44,12 +53,34 @@ fn instrumented_pass(targs: &TraceArgs, scale: f64) {
     sink.finish();
 }
 
+/// What-if pass (`--whatif KNOBS`): predicted-vs-measured speedups on
+/// the window-64 scenario, plus the five-mechanism attribution of the
+/// MPI-vs-LCI gap; writes `BENCH_whatif.json`.
+fn whatif_pass(targs: &TraceArgs, scale: f64) {
+    let knobs = targs.whatif_knobs().expect("--whatif parsed");
+    let mut p = LatencyParams::new(TRACE_CONFIG.parse().unwrap(), 8);
+    p.window = 64;
+    p.steps = ((100f64 * scale) as usize).max(25);
+    println!("what-if pass: window 64, {} knobs on {TRACE_CONFIG}", knobs.len());
+    let (cp, rows) = whatif_latency(&p, &knobs);
+    let (t_mpi, t_lci, mech) = five_mechanism_attribution(64, p.steps, p.cores);
+    print!("{}", whatif_text(TRACE_CONFIG, &rows, Some((t_mpi, t_lci, &mech))));
+    let json = whatif_json(TRACE_CONFIG, &cp, &rows, Some((t_mpi, t_lci, &mech)));
+    std::fs::write("BENCH_whatif.json", json).expect("write BENCH_whatif.json");
+    println!("wrote BENCH_whatif.json");
+}
+
 fn main() {
     let scale = bench_scale();
     let windows = [1usize, 2, 4, 8, 16, 32, 64];
     let targs = TraceArgs::parse();
     if targs.active() {
-        instrumented_pass(&targs, scale);
+        if targs.whatif.is_some() {
+            whatif_pass(&targs, scale);
+        }
+        if targs.trace.is_some() || targs.wants_reports() || targs.critpath {
+            instrumented_pass(&targs, scale);
+        }
         return;
     }
     println!("Figure 8: one-way latency (us) of 8B messages vs window size");

@@ -9,8 +9,14 @@
 //! `flamegraph.pl` input format). Exits non-zero on any violation — the
 //! CI trace smoke step runs this over reduced `fig1` exports.
 //!
+//! `--require-critpath` additionally validates the causal critical-path
+//! track written by `--critpath --trace`: highlighted spans exist on the
+//! `critpath` track, they form one connected chain in time starting at
+//! zero, and their durations sum to the `critpath.total_us` counter —
+//! the same partition identity the analyzer asserts internally.
+//!
 //! Usage:
-//!   `trace_check FILE [--require-flows] [--require-counters]`
+//!   `trace_check FILE [--require-flows] [--require-counters] [--require-critpath]`
 //!   `trace_check --folded FILE`
 
 use telemetry::json::{parse, Value};
@@ -19,12 +25,14 @@ fn main() {
     let mut path = None;
     let mut require_flows = false;
     let mut require_counters = false;
+    let mut require_critpath = false;
     let mut folded = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--require-flows" => require_flows = true,
             "--require-counters" => require_counters = true,
+            "--require-critpath" => require_critpath = true,
             "--folded" => {
                 folded = true;
                 path = Some(it.next().unwrap_or_else(|| die("--folded needs a file path")));
@@ -34,14 +42,15 @@ fn main() {
         }
     }
     let path = path.unwrap_or_else(|| {
-        die("usage: trace_check FILE [--require-flows] [--require-counters] | --folded FILE");
+        die("usage: trace_check FILE [--require-flows] [--require-counters] \
+             [--require-critpath] | --folded FILE");
     });
     let src =
         std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let result = if folded {
         validate_folded(&src)
     } else {
-        validate(&src, require_flows, require_counters)
+        validate(&src, require_flows, require_counters, require_critpath)
     };
     match result {
         Ok(summary) => println!("{path}: OK — {summary}"),
@@ -54,7 +63,12 @@ fn die(msg: &str) -> ! {
     std::process::exit(1);
 }
 
-fn validate(src: &str, require_flows: bool, require_counters: bool) -> Result<String, String> {
+fn validate(
+    src: &str,
+    require_flows: bool,
+    require_counters: bool,
+    require_critpath: bool,
+) -> Result<String, String> {
     let doc = parse(src)?;
     let events = doc.as_arr().ok_or("top level is not an array")?;
     if events.is_empty() {
@@ -62,6 +76,8 @@ fn validate(src: &str, require_flows: bool, require_counters: bool) -> Result<St
     }
     let mut spans = 0usize;
     let mut counters = 0usize;
+    let mut crit_spans: Vec<(f64, f64)> = Vec::new();
+    let mut crit_total_us: Option<f64> = None;
     let mut starts: Vec<u64> = Vec::new();
     let mut finishes: Vec<u64> = Vec::new();
     let mut tracks = std::collections::BTreeSet::new();
@@ -99,6 +115,9 @@ fn validate(src: &str, require_flows: bool, require_counters: bool) -> Result<St
                     .and_then(Value::as_str)
                     .ok_or_else(|| format!("event {i}: span without \"tid\""))?;
                 tracks.insert(tid.to_string());
+                if tid == "critpath" {
+                    crit_spans.push((ts, dur));
+                }
                 spans += 1;
             }
             "s" | "f" => {
@@ -126,6 +145,9 @@ fn validate(src: &str, require_flows: bool, require_counters: bool) -> Result<St
                     }
                 }
                 counter_last_ts.insert(name.to_string(), ts);
+                if name == "critpath.total_us" {
+                    crit_total_us = Some(v);
+                }
                 counters += 1;
             }
             other => return Err(format!("event {i}: unexpected phase {other:?}")),
@@ -146,6 +168,9 @@ fn validate(src: &str, require_flows: bool, require_counters: bool) -> Result<St
     if require_counters && counter_last_ts.is_empty() {
         return Err("no counter tracks (expected at least one sampled series)".into());
     }
+    if require_critpath {
+        check_critpath(&mut crit_spans, crit_total_us)?;
+    }
     Ok(format!(
         "{} events: {spans} spans on {} tracks, {} flow arrows, \
          {counters} counter samples on {} counter tracks",
@@ -154,6 +179,41 @@ fn validate(src: &str, require_flows: bool, require_counters: bool) -> Result<St
         starts.len(),
         counter_last_ts.len()
     ))
+}
+
+/// Validate the highlighted critical-path track: spans exist, form one
+/// connected chain in time starting at zero, and their durations sum to
+/// the reported end-to-end total. Timestamps are microsecond floats
+/// (exact nanosecond values / 1000), so comparisons allow a hundredth of
+/// a microsecond of rounding.
+fn check_critpath(spans: &mut Vec<(f64, f64)>, total_us: Option<f64>) -> Result<(), String> {
+    const TOL_US: f64 = 0.01;
+    if spans.is_empty() {
+        return Err("no critical-path spans (expected a highlighted \"critpath\" track)".into());
+    }
+    let total =
+        total_us.ok_or("critical-path spans present but no \"critpath.total_us\" counter")?;
+    spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+    if spans[0].0.abs() > TOL_US {
+        return Err(format!("critical path starts at {}us, not 0", spans[0].0));
+    }
+    let mut cursor = 0.0f64;
+    let mut sum = 0.0f64;
+    for &(ts, dur) in spans.iter() {
+        if (ts - cursor).abs() > TOL_US {
+            return Err(format!(
+                "critical path disconnected: span at {ts}us after chain ends at {cursor}us"
+            ));
+        }
+        cursor = ts + dur;
+        sum += dur;
+    }
+    if (sum - total).abs() > TOL_US.max(total * 1e-9) {
+        return Err(format!(
+            "on-path durations sum to {sum}us but reported end-to-end is {total}us"
+        ));
+    }
+    Ok(())
 }
 
 /// Validate a folded-stack file: every line is `frame;frame;... WEIGHT`

@@ -31,6 +31,8 @@ pub struct LatencyParams {
     pub steps: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Cost-model override (what-if re-runs); `None` = defaults.
+    pub cost: Option<simcore::CostModel>,
 }
 
 impl LatencyParams {
@@ -44,6 +46,7 @@ impl LatencyParams {
             window: 1,
             steps: 1_000,
             seed: 1,
+            cost: None,
         }
     }
 }
@@ -109,6 +112,7 @@ pub fn run_latency(p: &LatencyParams) -> LatencyResult {
     let mut wcfg = WorldConfig::two_nodes(p.config, p.cores);
     wcfg.wire = p.wire.clone();
     wcfg.seed = p.seed;
+    wcfg.cost = p.cost.clone();
     let mut world = build_world(&wcfg, registry);
 
     // Kick off the chains: total hops per chain = 2*steps (there and back

@@ -22,9 +22,14 @@ pub mod latency;
 pub mod msgrate;
 pub mod report;
 pub mod trace;
+pub mod whatif;
 
 pub use latency::{run_latency, LatencyParams, LatencyResult};
 pub use msgrate::{run_msgrate, MsgRateParams, MsgRateResult};
+pub use whatif::{
+    five_mechanism_attribution, whatif_json, whatif_latency, whatif_sweep, whatif_text, Knob,
+    MechanismRow, WhatIfRow,
+};
 
 /// Scale factor for quick runs: set `BENCH_SCALE` (e.g. `0.1`) to shrink
 /// message counts; defaults to 1.0.

@@ -30,6 +30,8 @@ pub struct MsgRateParams {
     pub seed: u64,
     /// LCI devices per locality (1 = the paper's configuration).
     pub devices: usize,
+    /// Cost-model override (what-if re-runs); `None` = defaults.
+    pub cost: Option<simcore::CostModel>,
 }
 
 impl MsgRateParams {
@@ -45,6 +47,7 @@ impl MsgRateParams {
             inject_rate: None,
             seed: 1,
             devices: 1,
+            cost: None,
         }
     }
 
@@ -60,6 +63,7 @@ impl MsgRateParams {
             inject_rate: None,
             seed: 1,
             devices: 1,
+            cost: None,
         }
     }
 }
@@ -120,6 +124,7 @@ pub fn run_msgrate(p: &MsgRateParams) -> MsgRateResult {
     wcfg.wire = p.wire.clone();
     wcfg.seed = p.seed;
     wcfg.lci_devices = p.devices;
+    wcfg.cost = p.cost.clone();
     let mut world = build_world(&wcfg, registry);
 
     // Injector: one task per batch, created at the attempted rate.

@@ -16,6 +16,14 @@
 //!   parcels, link busy time).
 //! * `--folded FILE` — write folded stacks (`config;core;state;leaf N`
 //!   lines) for `inferno` / `flamegraph.pl`.
+//! * `--critpath` — print the causal critical-path report (per-component
+//!   on-path time vs slack) of every instrumented configuration; with
+//!   `--trace` the Chrome trace gets a highlighted critical-path track
+//!   and on-path parcel flows are renamed `parcel (critical)`.
+//! * `--whatif KNOBS` — run the what-if engine: a comma-separated knob
+//!   list (e.g. `serialize_x0,wire_latency_x2,lock_hold_x0.5`, or `all`
+//!   for the default sweep) is dialed into deterministic re-runs and
+//!   predicted-vs-measured speedups are reported (see [`crate::whatif`]).
 //!
 //! When any flag is present the harness runs a reduced *instrumented
 //! pass* instead of the full figure sweep: telemetry accumulates per
@@ -39,6 +47,11 @@ pub struct TraceArgs {
     pub profile: bool,
     /// Folded-stack (flamegraph) output path (`--folded FILE`).
     pub folded: Option<String>,
+    /// Print critical-path reports; highlight the path in `--trace`
+    /// output (`--critpath`).
+    pub critpath: bool,
+    /// What-if knob sweep spec (`--whatif KNOBS`, `all` = default sweep).
+    pub whatif: Option<String>,
 }
 
 impl TraceArgs {
@@ -54,11 +67,13 @@ impl TraceArgs {
                 "--json" => out.json = Some(it.next().expect("--json needs a file path")),
                 "--profile" => out.profile = true,
                 "--folded" => out.folded = Some(it.next().expect("--folded needs a file path")),
+                "--critpath" => out.critpath = true,
+                "--whatif" => out.whatif = Some(it.next().expect("--whatif needs a knob list")),
                 other => {
                     eprintln!(
                         "unknown argument {other:?} \
                          (supported: --trace FILE, --breakdown, --json FILE, \
-                         --profile, --folded FILE)"
+                         --profile, --folded FILE, --critpath, --whatif KNOBS)"
                     );
                     std::process::exit(2);
                 }
@@ -74,12 +89,48 @@ impl TraceArgs {
             || self.json.is_some()
             || self.profile
             || self.folded.is_some()
+            || self.critpath
+            || self.whatif.is_some()
     }
 
     /// Whether per-config reports (rather than just one Chrome trace)
     /// were requested — decides how many configs the pass covers.
     pub fn wants_reports(&self) -> bool {
         self.breakdown || self.json.is_some() || self.profile || self.folded.is_some()
+    }
+
+    /// The parsed `--whatif` knob list; exits with a usage message on an
+    /// unknown knob spec.
+    pub fn whatif_knobs(&self) -> Option<Vec<crate::whatif::Knob>> {
+        use crate::whatif::Knob;
+        let spec = self.whatif.as_deref()?;
+        if spec == "all" {
+            return Some(vec![
+                Knob::SerializeScale(0.0),
+                Knob::WireLatencyScale(2.0),
+                Knob::WireLatencyScale(0.5),
+                Knob::WireBandwidthScale(2.0),
+                Knob::LockHoldScale(0.0),
+                Knob::TagMatchOff,
+                Knob::ProgressPerOpOff,
+                Knob::PollSkewOff,
+                Knob::SendImmediate,
+            ]);
+        }
+        Some(
+            spec.split(',')
+                .map(|s| {
+                    Knob::parse(s.trim()).unwrap_or_else(|| {
+                        eprintln!(
+                            "unknown --whatif knob {s:?} (supported: serialize_xK, \
+                             wire_latency_xK, wire_bw_xK, lock_hold_xK, tag_match_off, \
+                             cq_per_op_off, poll_skew_off, send_immediate, all)"
+                        );
+                        std::process::exit(2);
+                    })
+                })
+                .collect(),
+        )
     }
 }
 
@@ -112,6 +163,11 @@ impl TraceSink {
     /// written only when `write_trace` is set — the harness nominates one
     /// run so `--trace` yields a single file.
     pub fn emit(&mut self, tel: &Telemetry, config: &str, write_trace: bool) {
+        let cp = if self.args.critpath { tel.critpath(config) } else { None };
+        if let Some(cp) = &cp {
+            print!("{}", cp.to_text());
+            println!();
+        }
         if self.args.breakdown {
             print!("{}", tel.breakdown(config).to_text());
             print!("{}", tel.contention_report(config).to_text());
@@ -126,16 +182,23 @@ impl TraceSink {
             self.folded_docs.push(tel.folded_stacks(config));
         }
         if self.args.json.is_some() {
+            let critpath_field =
+                cp.as_ref().map(|cp| format!(",\"critpath\":{}", cp.to_json())).unwrap_or_default();
             self.json_docs.push(format!(
-                "{{\"breakdown\":{},\"contention\":{},\"core_profile\":{}}}",
+                "{{\"breakdown\":{},\"contention\":{},\"core_profile\":{}{}}}",
                 tel.breakdown(config).to_json(),
                 tel.contention_report(config).to_json(),
-                tel.core_report(config).to_json()
+                tel.core_report(config).to_json(),
+                critpath_field
             ));
         }
         if write_trace {
             if let Some(path) = &self.args.trace {
-                std::fs::write(path, tel.chrome_trace_collected()).expect("write trace file");
+                let doc = match &cp {
+                    Some(cp) => tel.chrome_trace_with_critpath(cp),
+                    None => tel.chrome_trace_collected(),
+                };
+                std::fs::write(path, doc).expect("write trace file");
                 println!(
                     "wrote Chrome trace of {config} ({} spans, {} flows) -> {path}",
                     tel.span_count(),

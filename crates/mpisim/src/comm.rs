@@ -187,6 +187,7 @@ impl Comm {
             + if eager { self.cost.memcpy(data.len()) } else { 0 }
             + self.take_deferred()
             + self.progress_hold();
+        let hold = self.cost.scale_lock_hold(hold);
         let start = at.max(sim.now());
         let grant = self.lock.acquire(core, start, hold);
         sim.stats.sample("mpi.lock_wait_ns", (grant.start - start) as f64);
@@ -247,6 +248,7 @@ impl Comm {
             + self.scan_cost(pos, self.unexpected.len())
             + self.take_deferred()
             + self.progress_hold();
+        let hold = self.cost.scale_lock_hold(hold);
         let start = at.max(sim.now());
         let grant = self.lock.acquire(core, start, hold);
         sim.stats.sample("mpi.lock_wait_ns", (grant.start - start) as f64);
@@ -297,6 +299,7 @@ impl Comm {
     ) -> (bool, SimTime) {
         self.progress_locked(sim, core);
         let hold = self.cost.mpi_call + self.take_deferred() + self.progress_hold();
+        let hold = self.cost.scale_lock_hold(hold);
         let start = at.max(sim.now());
         let grant = self.lock.acquire(core, start, hold);
         sim.stats.sample("mpi.lock_wait_ns", (grant.start - start) as f64);
@@ -318,6 +321,7 @@ impl Comm {
             + self.take_deferred()
             + self.progress_hold()
             + self.cost.atomic_op * reqs.len().min(64) as u64;
+        let hold = self.cost.scale_lock_hold(hold);
         let grant = self.lock.acquire(core, at.max(sim.now()), hold);
         sim.stats.bump("mpi.testsome");
         self.progress_locked(sim, core);

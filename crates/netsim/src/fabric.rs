@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 use std::rc::Rc;
 
 use rand::Rng;
+use simcore::causal::{self, MarkKind};
 use simcore::{Sim, SimResource, SimTime};
 
 use crate::model::WireModel;
@@ -185,6 +186,10 @@ impl Fabric {
         self.wire_free[src] = inj_start + busy;
         let deliver_at = self.wire_free[src] + self.model.latency_ns;
         self.link_busy[src] += busy;
+        // Causal wire span: injection + serialization + propagation. The
+        // `fixed` part is pure propagation latency (what a latency knob
+        // scales); the rest is bandwidth-dependent.
+        causal::mark("net.wire", MarkKind::Wire, inj_start, deliver_at, self.model.latency_ns);
 
         self.sent += 1;
         self.bytes_sent += pkt.len() as u64;

@@ -32,6 +32,8 @@ pub struct OctoParams {
     pub compute: ComputeModel,
     /// RNG seed.
     pub seed: u64,
+    /// Software cost-model override (what-if re-runs); `None` = defaults.
+    pub cost: Option<simcore::CostModel>,
 }
 
 impl OctoParams {
@@ -49,6 +51,7 @@ impl OctoParams {
             steps: 5,
             compute: ComputeModel::default(),
             seed: 42,
+            cost: None,
         }
     }
 
@@ -64,6 +67,7 @@ impl OctoParams {
             steps: 5,
             compute: ComputeModel::default(),
             seed: 42,
+            cost: None,
         }
     }
 }
@@ -100,6 +104,7 @@ pub fn run_octotiger(p: &OctoParams) -> OctoResult {
     wcfg.localities = p.localities;
     wcfg.wire = p.wire.clone();
     wcfg.seed = p.seed;
+    wcfg.cost = p.cost.clone();
     let mut world = build_world(&wcfg, registry);
 
     // Kick step 0 on every locality from locality 0.

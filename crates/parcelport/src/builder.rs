@@ -40,6 +40,9 @@ pub struct WorldConfig {
     /// Number of LCI devices (network contexts) per locality — 1 in the
     /// paper; >1 implements the §7.2 future work.
     pub lci_devices: usize,
+    /// Cost-model override — the what-if engine re-runs scenarios with
+    /// scaled knobs through this. `None` uses the calibrated defaults.
+    pub cost: Option<CostModel>,
 }
 
 impl WorldConfig {
@@ -56,6 +59,7 @@ impl WorldConfig {
             seed: 0xC0FFEE,
             faults: None,
             lci_devices: 1,
+            cost: None,
         }
     }
 }
@@ -122,7 +126,7 @@ impl Drop for World {
 /// ready for work.
 pub fn build_world(cfg: &WorldConfig, registry: ActionRegistry) -> World {
     let mut sim = Sim::new(cfg.seed);
-    let cost = Rc::new(CostModel::default_model());
+    let cost = Rc::new(cfg.cost.clone().unwrap_or_else(CostModel::default_model));
     let fabric = Rc::new(RefCell::new(Fabric::with_contexts(
         cfg.localities,
         cfg.wire.clone(),

@@ -88,6 +88,12 @@ pub struct CostModel {
     /// processing, protocol switch — the paper's "protocol switch in the
     /// MPI/UCX layer").
     pub mpi_rndv: u64,
+    /// What-if knob: scale factor (in milli-units, 1000 = x1.0) applied to
+    /// the `ucp_progress` lock hold time computed by the MPI communicator.
+    /// At the default of 1000 the scaling is integer-exact identity, so
+    /// golden traces are unaffected; the causal what-if engine dials it to
+    /// emulate finer-grained synchronization inside MPI/UCX.
+    pub mpi_lock_hold_scale_milli: u64,
 
     // ---- TCP stack ----
     /// One socket syscall (send/recv) — user/kernel crossing.
@@ -170,6 +176,7 @@ impl CostModel {
             mpi_unexpected: 320,
             mpi_handle_packet: 600,
             mpi_rndv: 8_000,
+            mpi_lock_hold_scale_milli: 1000,
             tcp_syscall: 2_500,
             tcp_kernel: 4_000,
             amt_action_dispatch: 1_500,
@@ -198,6 +205,13 @@ impl CostModel {
     #[inline]
     pub fn serialize(&self, bytes: usize) -> u64 {
         (bytes as u64 * self.serialize_per_byte_milli) / 1000
+    }
+
+    /// Apply the what-if scale to a `ucp_progress` critical-section
+    /// length. Integer-exact identity at the default scale of 1000.
+    #[inline]
+    pub fn scale_lock_hold(&self, hold_ns: u64) -> u64 {
+        (hold_ns * self.mpi_lock_hold_scale_milli) / 1000
     }
 }
 

@@ -72,12 +72,17 @@ pub(crate) enum EventKind {
 
 const NO_POS: u32 = u32::MAX;
 
-/// One slab slot: ordering key, generation, heap position, payload.
+/// One slab slot: ordering key, generation, heap position, provenance,
+/// payload.
 struct Slot {
     at: SimTime,
     seq: u64,
     gen: u32,
     pos: u32,
+    /// Node id of the event executing when this one was scheduled (0 =
+    /// scheduled outside dispatch). Carried for causal capture
+    /// ([`crate::causal`]); dead weight of one word when disabled.
+    parent: u64,
     kind: EventKind,
 }
 
@@ -110,17 +115,24 @@ impl EventQueue {
         (s.at, s.seq)
     }
 
-    pub(crate) fn insert(&mut self, at: SimTime, seq: u64, kind: EventKind) -> EventId {
+    pub(crate) fn insert(
+        &mut self,
+        at: SimTime,
+        seq: u64,
+        parent: u64,
+        kind: EventKind,
+    ) -> EventId {
         let slot = match self.free.pop() {
             Some(slot) => {
                 let s = &mut self.slots[slot as usize];
                 s.at = at;
                 s.seq = seq;
+                s.parent = parent;
                 s.kind = kind;
                 slot
             }
             None => {
-                self.slots.push(Slot { at, seq, gen: 0, pos: NO_POS, kind });
+                self.slots.push(Slot { at, seq, gen: 0, pos: NO_POS, parent, kind });
                 (self.slots.len() - 1) as u32
             }
         };
@@ -167,22 +179,24 @@ impl EventQueue {
     }
 
     /// Pop the earliest event.
-    pub(crate) fn pop(&mut self) -> Option<(SimTime, EventKind)> {
+    pub(crate) fn pop(&mut self) -> Option<(SimTime, u64, EventKind)> {
         self.pop_if(SimTime::NEVER)
     }
 
-    /// Pop the earliest event if it fires at or before `deadline` — one
-    /// root comparison, no separate peek.
-    pub(crate) fn pop_if(&mut self, deadline: SimTime) -> Option<(SimTime, EventKind)> {
+    /// Pop the earliest event (time, provenance parent, payload) if it
+    /// fires at or before `deadline` — one root comparison, no separate
+    /// peek.
+    pub(crate) fn pop_if(&mut self, deadline: SimTime) -> Option<(SimTime, u64, EventKind)> {
         let &slot = self.heap.first()?;
         let at = self.slots[slot as usize].at;
         if at > deadline {
             return None;
         }
         self.remove_at(0);
+        let parent = self.slots[slot as usize].parent;
         let kind = std::mem::replace(&mut self.slots[slot as usize].kind, EventKind::Vacant);
         self.release(slot);
-        Some((at, kind))
+        Some((at, parent, kind))
     }
 
     /// Detach the slot at heap position `pos`, restoring heap order.
@@ -281,7 +295,7 @@ mod tests {
 
     fn drain(q: &mut EventQueue) -> Vec<(u64, u64)> {
         let mut out = Vec::new();
-        while let Some((at, kind)) = q.pop() {
+        while let Some((at, _parent, kind)) = q.pop() {
             let seq = match kind {
                 EventKind::Handler { arg, .. } => arg,
                 _ => panic!("test uses handler events"),
@@ -299,7 +313,7 @@ mod tests {
     fn pops_in_time_then_seq_order() {
         let mut q = EventQueue::new();
         for (at, seq) in [(30u64, 0u64), (10, 1), (10, 2), (20, 3), (5, 4)] {
-            q.insert(SimTime::from_nanos(at), seq, handler_event(seq));
+            q.insert(SimTime::from_nanos(at), seq, 0, handler_event(seq));
         }
         assert_eq!(drain(&mut q), vec![(5, 4), (10, 1), (10, 2), (20, 3), (30, 0)]);
     }
@@ -307,8 +321,8 @@ mod tests {
     #[test]
     fn cancel_removes_and_invalidates_handle() {
         let mut q = EventQueue::new();
-        let a = q.insert(SimTime::from_nanos(10), 0, handler_event(0));
-        let b = q.insert(SimTime::from_nanos(20), 1, handler_event(1));
+        let a = q.insert(SimTime::from_nanos(10), 0, 0, handler_event(0));
+        let b = q.insert(SimTime::from_nanos(20), 1, 0, handler_event(1));
         assert!(q.cancel(a));
         assert!(!q.cancel(a), "second cancel is a stale no-op");
         assert!(q.contains(b));
@@ -319,10 +333,10 @@ mod tests {
     #[test]
     fn slot_reuse_does_not_resurrect_old_handles() {
         let mut q = EventQueue::new();
-        let a = q.insert(SimTime::from_nanos(10), 0, handler_event(0));
+        let a = q.insert(SimTime::from_nanos(10), 0, 0, handler_event(0));
         assert!(q.cancel(a));
         // The freed slot is reused by the next insert...
-        let b = q.insert(SimTime::from_nanos(30), 1, handler_event(1));
+        let b = q.insert(SimTime::from_nanos(30), 1, 0, handler_event(1));
         // ...but the old handle must not touch the new event.
         assert!(!q.cancel(a));
         assert!(!q.reschedule(a, SimTime::from_nanos(1), 2));
@@ -333,11 +347,11 @@ mod tests {
     #[test]
     fn reschedule_moves_both_directions() {
         let mut q = EventQueue::new();
-        let a = q.insert(SimTime::from_nanos(50), 0, handler_event(0));
-        q.insert(SimTime::from_nanos(20), 1, handler_event(1));
-        q.insert(SimTime::from_nanos(40), 2, handler_event(2));
+        let a = q.insert(SimTime::from_nanos(50), 0, 0, handler_event(0));
+        q.insert(SimTime::from_nanos(20), 1, 0, handler_event(1));
+        q.insert(SimTime::from_nanos(40), 2, 0, handler_event(2));
         assert!(q.reschedule(a, SimTime::from_nanos(10), 3));
-        let c = q.insert(SimTime::from_nanos(15), 4, handler_event(4));
+        let c = q.insert(SimTime::from_nanos(15), 4, 0, handler_event(4));
         assert!(q.reschedule(c, SimTime::from_nanos(60), 5));
         assert_eq!(drain(&mut q), vec![(10, 0), (20, 1), (40, 2), (60, 4)]);
     }
@@ -345,8 +359,8 @@ mod tests {
     #[test]
     fn pop_if_respects_deadline_with_one_comparison() {
         let mut q = EventQueue::new();
-        q.insert(SimTime::from_nanos(10), 0, handler_event(0));
-        q.insert(SimTime::from_nanos(30), 1, handler_event(1));
+        q.insert(SimTime::from_nanos(10), 0, 0, handler_event(0));
+        q.insert(SimTime::from_nanos(30), 1, 0, handler_event(1));
         assert!(q.pop_if(SimTime::from_nanos(20)).is_some());
         assert!(q.pop_if(SimTime::from_nanos(20)).is_none());
         assert_eq!(q.len(), 1);
@@ -363,11 +377,11 @@ mod tests {
         for round in 0..2000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let at = (x >> 33) % 1000;
-            q.insert(SimTime::from_nanos(at), seq, handler_event(seq));
+            q.insert(SimTime::from_nanos(at), seq, 0, handler_event(seq));
             expect.push((at, seq));
             seq += 1;
             if round % 3 == 0 {
-                if let Some((at, EventKind::Handler { arg, .. })) = q.pop() {
+                if let Some((at, _, EventKind::Handler { arg, .. })) = q.pop() {
                     popped.push((at.as_nanos(), arg));
                 }
             }

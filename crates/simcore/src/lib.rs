@@ -29,6 +29,7 @@
 //! All protocol logic, codecs and application code built on top of this
 //! engine are real, synchronously-executed Rust — only **time** is virtual.
 
+pub mod causal;
 pub mod cost;
 pub mod event;
 pub mod json;
@@ -40,6 +41,7 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use causal::CausalLog;
 pub use cost::CostModel;
 pub use event::{ClosureFn, EventHandler, EventId, HandlerId, OnceFn};
 pub use json::escape_json;

@@ -3,6 +3,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use crate::causal::{self, MarkKind};
 use crate::probe;
 use crate::time::SimTime;
 
@@ -122,6 +123,8 @@ impl SimLock {
         self.total_wait_ns += start - now;
         self.core_last_end.insert(core, end);
         probe::emit(|p| p.lock_wait(self.name, core, now, start - now, hold_ns, contended));
+        causal::mark(self.name, MarkKind::Wait, now, start, 0);
+        causal::mark(self.name, MarkKind::Hold, start, end, 0);
         Grant { start, end, queued_behind: queued }
     }
 
@@ -182,6 +185,7 @@ impl SimTryLock {
             self.next_free = until;
             self.acquisitions += 1;
             probe::emit(|p| p.try_lock(self.name, now, true, hold_ns));
+            causal::mark(self.name, MarkKind::Hold, now, until, 0);
             TryAcquire::Acquired { until }
         } else {
             self.failures += 1;

@@ -1,5 +1,6 @@
 //! Contended shared resources modeled as serialized service centers.
 
+use crate::causal::{self, MarkKind};
 use crate::probe;
 use crate::time::SimTime;
 
@@ -74,6 +75,8 @@ impl SimResource {
         self.accesses += 1;
         self.next_free = end;
         probe::emit(|p| p.resource_access(self.name, core, now, start - now, service, transferred));
+        causal::mark(self.name, MarkKind::Wait, now, start, 0);
+        causal::mark(self.name, MarkKind::Work, start, end, 0);
         end
     }
 

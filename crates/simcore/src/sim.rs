@@ -50,6 +50,10 @@ pub struct Sim {
     /// Named counters collected during the run.
     pub stats: Stats,
     executed: u64,
+    /// Node id of the event currently being dispatched (= `executed` at
+    /// dispatch start; 0 outside dispatch). Recorded as the provenance
+    /// parent of every event scheduled from inside it.
+    current: u64,
 }
 
 impl Sim {
@@ -63,6 +67,7 @@ impl Sim {
             rng: StdRng::seed_from_u64(seed),
             stats: Stats::new(),
             executed: 0,
+            current: 0,
         }
     }
 
@@ -102,7 +107,7 @@ impl Sim {
     pub fn schedule_at<F: FnOnce(&mut Sim) + 'static>(&mut self, at: SimTime, f: F) -> EventId {
         let at = at.max(self.now);
         let seq = self.next_seq();
-        self.queue.insert(at, seq, EventKind::Closure(Box::new(f)))
+        self.queue.insert(at, seq, self.current, EventKind::Closure(Box::new(f)))
     }
 
     /// Schedule `f` to run `delay_ns` nanoseconds from now.
@@ -116,7 +121,7 @@ impl Sim {
     pub fn schedule_event_at(&mut self, at: SimTime, handler: HandlerId, arg: u64) -> EventId {
         let at = at.max(self.now);
         let seq = self.next_seq();
-        self.queue.insert(at, seq, EventKind::Handler { handler, arg })
+        self.queue.insert(at, seq, self.current, EventKind::Handler { handler, arg })
     }
 
     /// Schedule a typed event for `handler`, `delay_ns` from now.
@@ -130,7 +135,7 @@ impl Sim {
     pub fn schedule_once_at(&mut self, at: SimTime, f: OnceFn, arg: u64) -> EventId {
         let at = at.max(self.now);
         let seq = self.next_seq();
-        self.queue.insert(at, seq, EventKind::Once { f, arg })
+        self.queue.insert(at, seq, self.current, EventKind::Once { f, arg })
     }
 
     /// Cancel a pending event. Returns `false` if the handle is stale
@@ -168,14 +173,38 @@ impl Sim {
         }
     }
 
+    /// Begin dispatching an event scheduled by `parent` at time `at`:
+    /// advance the clock, mint the node id, record the provenance edge if
+    /// a causal collector is installed. Returns whether one is (so the
+    /// caller can close the node after dispatch).
+    #[inline]
+    fn begin_event(&mut self, at: SimTime, parent: u64) -> bool {
+        debug_assert!(at >= self.now, "time must not go backwards");
+        self.now = at;
+        self.executed += 1;
+        self.current = self.executed;
+        let instrumented = crate::causal::installed();
+        if instrumented {
+            crate::causal::on_execute(self.executed, at.as_nanos(), parent);
+        }
+        instrumented
+    }
+
+    #[inline]
+    fn end_event(&mut self, instrumented: bool) {
+        self.current = 0;
+        if instrumented {
+            crate::causal::end_execute();
+        }
+    }
+
     /// Run a single event; returns `false` if the queue is empty.
     pub fn step(&mut self) -> bool {
         match self.queue.pop() {
-            Some((at, kind)) => {
-                debug_assert!(at >= self.now, "time must not go backwards");
-                self.now = at;
-                self.executed += 1;
+            Some((at, parent, kind)) => {
+                let instrumented = self.begin_event(at, parent);
                 self.dispatch(kind);
+                self.end_event(instrumented);
                 true
             }
             None => false,
@@ -193,11 +222,10 @@ impl Sim {
         let mut n = 0;
         // One root comparison per event: the pop is conditional on the
         // deadline rather than a peek followed by a separate pop.
-        while let Some((at, kind)) = self.queue.pop_if(deadline) {
-            debug_assert!(at >= self.now, "time must not go backwards");
-            self.now = at;
-            self.executed += 1;
+        while let Some((at, parent, kind)) = self.queue.pop_if(deadline) {
+            let instrumented = self.begin_event(at, parent);
             self.dispatch(kind);
+            self.end_event(instrumented);
             n += 1;
         }
         if self.now < deadline {

@@ -1,10 +1,12 @@
 //! Chrome-trace / Perfetto JSON export: core spans, parcel flow arrows,
 //! and counter tracks, in one event array.
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
 
 use simcore::{escape_json, Span};
 
+use crate::critpath::CritPath;
 use crate::flow::{stage, FlowRec};
 use crate::metrics::Metrics;
 
@@ -23,6 +25,25 @@ fn us(ns: u64) -> f64 {
 /// * counter tracks — sampled series (queue depths, utilization) as
 ///   `ph:"C"` events.
 pub fn chrome_trace(spans: &[Span], flows: &[FlowRec], metrics: &Metrics) -> String {
+    render(spans, flows, metrics, None)
+}
+
+/// [`chrome_trace`] plus a critical-path overlay: the path's segments as
+/// spans on a dedicated `critpath` track, a `critpath.total_us` counter
+/// carrying the makespan, and parcels whose delivery event lies on the
+/// path renamed `parcel (critical)` so on-path flow arrows stand out.
+pub fn chrome_trace_with_critpath(
+    spans: &[Span],
+    flows: &[FlowRec],
+    metrics: &Metrics,
+    cp: &CritPath,
+) -> String {
+    render(spans, flows, metrics, Some(cp))
+}
+
+fn render(spans: &[Span], flows: &[FlowRec], metrics: &Metrics, cp: Option<&CritPath>) -> String {
+    let on_path: HashSet<u64> =
+        cp.map(|cp| cp.path_nodes.iter().copied().collect()).unwrap_or_default();
     let mut out = String::from("[");
     let mut first = true;
     let mut sep = |out: &mut String| {
@@ -30,6 +51,27 @@ pub fn chrome_trace(spans: &[Span], flows: &[FlowRec], metrics: &Metrics) -> Str
             out.push(',');
         }
     };
+
+    if let Some(cp) = cp {
+        for seg in &cp.segments {
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"cat\":\"critpath\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":\"critpath\"}}",
+                escape_json(&seg.component),
+                us(seg.start),
+                us(seg.len_ns()),
+            );
+        }
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"critpath.total_us\",\"ph\":\"C\",\"ts\":0,\"pid\":0,\
+             \"args\":{{\"value\":{}}}}}",
+            us(cp.total_ns),
+        );
+    }
 
     for s in spans {
         sep(&mut out);
@@ -48,6 +90,11 @@ pub fn chrome_trace(spans: &[Span], flows: &[FlowRec], metrics: &Metrics) -> Str
         let (Some(put), Some(deliver)) = (f.at(stage::PUT), f.at(stage::DELIVER)) else {
             continue;
         };
+        let name = if f.deliver_node != 0 && on_path.contains(&f.deliver_node) {
+            "parcel (critical)"
+        } else {
+            "parcel"
+        };
         // End of the send-side slice: injection if recorded, else a sliver.
         let send_end = f.at(stage::INJECT).unwrap_or(put + 1).max(put + 1);
         let recv_end = f.at(stage::SPAWN).unwrap_or(deliver + 1).max(deliver + 1);
@@ -56,7 +103,7 @@ pub fn chrome_trace(spans: &[Span], flows: &[FlowRec], metrics: &Metrics) -> Str
         sep(&mut out);
         let _ = write!(
             out,
-            "{{\"name\":\"parcel\",\"ph\":\"X\",\"cat\":\"parcel\",\"ts\":{},\"dur\":{},\
+            "{{\"name\":\"{name}\",\"ph\":\"X\",\"cat\":\"parcel\",\"ts\":{},\"dur\":{},\
              \"pid\":0,\"tid\":\"{src_tid}\",\"args\":{{\"flow\":{id}}}}}",
             us(put),
             us(send_end - put),
@@ -64,14 +111,14 @@ pub fn chrome_trace(spans: &[Span], flows: &[FlowRec], metrics: &Metrics) -> Str
         sep(&mut out);
         let _ = write!(
             out,
-            "{{\"name\":\"parcel\",\"ph\":\"s\",\"cat\":\"parcel\",\"id\":{id},\"ts\":{},\
+            "{{\"name\":\"{name}\",\"ph\":\"s\",\"cat\":\"parcel\",\"id\":{id},\"ts\":{},\
              \"pid\":0,\"tid\":\"{src_tid}\"}}",
             us(put),
         );
         sep(&mut out);
         let _ = write!(
             out,
-            "{{\"name\":\"parcel\",\"ph\":\"X\",\"cat\":\"parcel\",\"ts\":{},\"dur\":{},\
+            "{{\"name\":\"{name}\",\"ph\":\"X\",\"cat\":\"parcel\",\"ts\":{},\"dur\":{},\
              \"pid\":0,\"tid\":\"{dst_tid}\",\"args\":{{\"flow\":{id}}}}}",
             us(deliver),
             us(recv_end - deliver),
@@ -79,7 +126,7 @@ pub fn chrome_trace(spans: &[Span], flows: &[FlowRec], metrics: &Metrics) -> Str
         sep(&mut out);
         let _ = write!(
             out,
-            "{{\"name\":\"parcel\",\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"parcel\",\"id\":{id},\
+            "{{\"name\":\"{name}\",\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"parcel\",\"id\":{id},\
              \"ts\":{},\"pid\":0,\"tid\":\"{dst_tid}\"}}",
             us(deliver),
         );

@@ -58,6 +58,10 @@ pub struct FlowRec {
     pub dst_core: usize,
     /// Per-stage timestamps in ns ([`UNSET`] where not reached).
     pub stages: [u64; stage::COUNT],
+    /// Causal node id of the event that delivered this parcel (0 when no
+    /// causal collector was installed) — links the flow to the provenance
+    /// graph so the critical path can highlight on-path parcels.
+    pub deliver_node: u64,
 }
 
 impl FlowRec {
@@ -104,7 +108,7 @@ impl FlowTracer {
         }
         let mut stages = [UNSET; stage::COUNT];
         stages[stage::PUT] = t.as_nanos();
-        self.flows.push(FlowRec { src, dst, src_core, dst_core: 0, stages });
+        self.flows.push(FlowRec { src, dst, src_core, dst_core: 0, stages, deliver_node: 0 });
         self.flows.len() as u64
     }
 
@@ -116,9 +120,13 @@ impl FlowTracer {
         if id == 0 {
             return false;
         }
-        let slot = &mut self.flows[id as usize - 1].stages[stage];
+        let rec = &mut self.flows[id as usize - 1];
+        let slot = &mut rec.stages[stage];
         if *slot == UNSET {
             *slot = t.as_nanos();
+            if stage == self::stage::DELIVER {
+                rec.deliver_node = simcore::causal::current_node();
+            }
             true
         } else {
             false

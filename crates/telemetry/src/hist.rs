@@ -130,6 +130,11 @@ impl Histogram {
         self.quantile(0.99)
     }
 
+    /// 99.9th percentile shorthand (tail latency).
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
     /// Fold `other` into `self`; equivalent to having recorded the union
     /// of both sample streams.
     pub fn merge(&mut self, other: &Histogram) {
@@ -207,5 +212,49 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn quantile_boundaries_empty() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn quantile_boundaries_single_sample() {
+        let mut h = Histogram::new();
+        h.record(12_345);
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 12_345, "q={q}");
+        }
+        assert_eq!(h.p999(), 12_345);
+    }
+
+    #[test]
+    fn quantile_extremes_hit_min_and_max() {
+        let mut h = Histogram::new();
+        for v in [3u64, 90, 4_000, 250_000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+        // Out-of-range inputs clamp rather than panic.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+    }
+
+    #[test]
+    fn p999_sits_between_p99_and_max() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert!(h.p99() <= h.p999());
+        assert!(h.p999() <= h.max());
+        // With 10k uniform samples the 99.9th percentile lands in the
+        // top octave, clearly above the median.
+        assert!(h.p999() > h.p50());
     }
 }

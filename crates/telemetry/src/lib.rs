@@ -32,6 +32,7 @@
 //! byte-identical event streams (see `tests/golden_trace.rs`).
 
 pub mod chrome;
+pub mod critpath;
 pub mod flow;
 pub mod hist;
 pub mod json;
@@ -42,8 +43,9 @@ pub mod report;
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use simcore::{SimTime, Span};
+use simcore::{CausalLog, SimTime, Span};
 
+pub use critpath::{ComponentShare, CritPath, ParcelPath, PathSegment};
 pub use flow::{stage, FlowRec, FlowTracer, STAGE_NAMES};
 pub use hist::Histogram;
 pub use metrics::{ContentionStat, ContentionTable, Metrics, ResourceKind};
@@ -66,6 +68,9 @@ struct Inner {
     /// Parcels begun but not yet delivered, sampled as the
     /// `parcels.in_flight` counter track.
     in_flight: i64,
+    /// The causal provenance log ([`simcore::causal`]), installed by
+    /// [`enable`] alongside the contention probe.
+    causal: Option<Rc<CausalLog>>,
 }
 
 impl Telemetry {
@@ -261,6 +266,33 @@ impl Telemetry {
         let inner = self.inner.borrow();
         chrome::chrome_trace(&inner.spans, inner.flows.flows(), &inner.metrics)
     }
+
+    /// The causal provenance log captured by this collector, if any
+    /// (present on collectors made by [`enable`]).
+    pub fn causal_log(&self) -> Option<Rc<CausalLog>> {
+        self.inner.borrow().causal.clone()
+    }
+
+    /// Extract the makespan critical path from the captured causal log.
+    /// `None` when no causal log is attached or nothing was recorded.
+    pub fn critpath(&self, config: &str) -> Option<CritPath> {
+        let log = self.causal_log()?;
+        let cp = CritPath::from_log(config, &log);
+        (cp.total_ns > 0).then_some(cp)
+    }
+
+    /// Per-parcel critical paths (stage telescoping) for delivered flows.
+    pub fn parcel_paths(&self) -> Vec<ParcelPath> {
+        critpath::parcel_paths(self.inner.borrow().flows.flows())
+    }
+
+    /// [`Telemetry::chrome_trace_collected`] plus critical-path overlay:
+    /// on-path segments as spans on a dedicated `critpath` track, a
+    /// `critpath.total_us` counter, and on-path parcel flows highlighted.
+    pub fn chrome_trace_with_critpath(&self, cp: &CritPath) -> String {
+        let inner = self.inner.borrow();
+        chrome::chrome_trace_with_critpath(&inner.spans, inner.flows.flows(), &inner.metrics, cp)
+    }
 }
 
 /// Adapter feeding `simcore::probe` events into the contention table.
@@ -337,20 +369,31 @@ thread_local! {
     static ACTIVE: RefCell<Option<Rc<Telemetry>>> = const { RefCell::new(None) };
 }
 
-/// Install a fresh collector on this thread (and hook `simcore::probe`).
-/// Returns the handle; keep it to read reports after [`disable`].
+/// Install a fresh collector on this thread (and hook `simcore::probe`
+/// plus the `simcore::causal` provenance log). Returns the handle; keep
+/// it to read reports after [`disable`].
 pub fn enable() -> Rc<Telemetry> {
+    // A stale collector from a run that never called `disable` must not
+    // leak state (probe adapter, causal cursor) into this run.
+    disable();
     let t = Rc::new(Telemetry::new());
+    let log = CausalLog::new();
+    t.inner.borrow_mut().causal = Some(log.clone());
     ACTIVE.with(|c| *c.borrow_mut() = Some(t.clone()));
     simcore::probe::install(Rc::new(ProbeAdapter(t.clone())));
+    simcore::causal::install(log);
     t
 }
 
-/// Remove the active collector and the contention probe. The returned
-/// handle from [`enable`] stays valid for reading reports.
+/// Remove the active collector, the contention probe and the causal
+/// collector, resetting every piece of thread-local recording state so
+/// back-to-back instrumented runs in one process cannot contaminate each
+/// other. The returned handle from [`enable`] stays valid for reading
+/// reports.
 pub fn disable() {
     ACTIVE.with(|c| *c.borrow_mut() = None);
     simcore::probe::uninstall();
+    simcore::causal::uninstall();
 }
 
 /// Whether a collector is active on this thread.
@@ -514,6 +557,64 @@ mod tests {
             assert_eq!(tel.flow_count(), 1);
             assert_eq!(tel.with_metrics(|m| m.counter("parcels")), 3);
             assert_eq!(flow_begin(0, 1, 0, SimTime::ZERO), 0);
+        });
+    }
+
+    #[test]
+    fn back_to_back_runs_do_not_cross_contaminate() {
+        with_clean_state(|| {
+            // First instrumented "run": flows, routes, counters, causal
+            // provenance, profiler locality cursor.
+            let first = enable();
+            let id = flow_begin(0, 1, 0, SimTime::ZERO);
+            flow_mark(id, stage::DELIVER, SimTime::from_nanos(100));
+            register_route(0, 1, 99, &[id]);
+            counter_add("parcels", 7);
+            profile_set_loc(3);
+            simcore::causal::on_execute(1, 50, 0);
+            simcore::causal::mark(
+                "lock",
+                simcore::causal::MarkKind::Hold,
+                SimTime::ZERO,
+                SimTime::from_nanos(10),
+                0,
+            );
+            disable();
+            assert!(!simcore::causal::installed());
+            assert_eq!(simcore::causal::current_node(), 0);
+
+            // Second run starts from a blank slate.
+            let second = enable();
+            assert_eq!(second.flow_count(), 0);
+            assert_eq!(second.with_metrics(|m| m.counter("parcels")), 0);
+            assert!(second.take_route(0, 1, 99).is_empty(), "routes must not leak");
+            let log = second.causal_log().expect("fresh causal log");
+            assert_eq!(log.node_count(), 0);
+            assert_eq!(log.mark_count(), 0);
+            let id2 = flow_begin(0, 1, 0, SimTime::ZERO);
+            assert_eq!(id2, 1, "flow ids restart per collector");
+            disable();
+
+            // The first handle still holds only its own data.
+            assert_eq!(first.flow_count(), 1);
+            assert_eq!(first.with_metrics(|m| m.counter("parcels")), 7);
+            assert_eq!(first.causal_log().unwrap().node_count(), 1);
+            assert_eq!(second.flow_count(), 1);
+        });
+    }
+
+    #[test]
+    fn enable_while_enabled_resets_cleanly() {
+        with_clean_state(|| {
+            let stale = enable();
+            counter_add("x", 1);
+            // A run that forgot to disable: the next enable must not let
+            // the stale adapter keep collecting.
+            let fresh = enable();
+            counter_add("x", 1);
+            disable();
+            assert_eq!(stale.with_metrics(|m| m.counter("x")), 1);
+            assert_eq!(fresh.with_metrics(|m| m.counter("x")), 1);
         });
     }
 

@@ -103,6 +103,28 @@ fn telemetry_enabled_is_pure_observation() {
         let b = tel.breakdown(name);
         assert_eq!(b.delivered, 40, "{name}: flows lost before delivery");
         assert!(b.total.summary.count > 0, "{name}: no end-to-end latencies recorded");
+        // Causal-edge recording rode along on the exact pinned timeline
+        // above, so provenance capture is itself pure observation. The
+        // log must be complete: one node per executed event, and the
+        // critical path it yields must partition [0, end] exactly.
+        let log = tel.causal_log().expect("telemetry enabled records a causal log");
+        assert_eq!(
+            log.node_count() as u64,
+            executed,
+            "{name}: causal log must record every executed event"
+        );
+        let cp = tel.critpath(name).expect("non-empty run has a critical path");
+        assert!(!cp.truncated, "{name}: causal log truncated");
+        assert!(cp.total_ns <= end_ns, "{name}: critical path ends after the pinned end time");
+        let seg_sum: u64 = cp.segments.iter().map(|s| s.len_ns()).sum();
+        assert_eq!(seg_sum, cp.total_ns, "{name}: on-path durations must sum to the makespan");
+        // Every delivered parcel got a causally-attributed delivery node.
+        let paths = tel.parcel_paths();
+        assert_eq!(paths.len(), 40, "{name}: expected one causal path per parcel");
+        for pp in &paths {
+            let sum: u64 = pp.segments.iter().map(|s| s.len_ns()).sum();
+            assert_eq!(sum, pp.total_ns, "{name}: parcel {} path identity", pp.flow);
+        }
     }
 }
 
