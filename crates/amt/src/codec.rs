@@ -253,6 +253,19 @@ impl<'a> Reader<'a> {
         self.take(n)
     }
 
+    /// Read `n` raw bytes (no length prefix).
+    pub fn get_raw(&mut self, n: usize) -> &'a [u8] {
+        self.take(n)
+    }
+
+    /// Current cursor offset from the start of the buffer. Callers that
+    /// hold shared storage of the same bytes can turn `get_bytes` results
+    /// into zero-copy sub-views (`position` before the read names the
+    /// length prefix, `position` after names the end of the payload).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
     /// Bytes remaining.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos

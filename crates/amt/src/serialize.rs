@@ -110,7 +110,16 @@ impl HpxMessage {
             let mut args = Vec::with_capacity(argc);
             for _ in 0..argc {
                 match r.get_u8() {
-                    0 => args.push(Bytes::copy_from_slice(r.get_bytes())),
+                    0 => {
+                        // Zero-copy: the argument is a sub-view of the
+                        // non-zero-copy chunk (a refcount bump), not a
+                        // fresh copy — the receive path stays
+                        // allocation-free per small argument.
+                        let len = r.get_u32() as usize;
+                        let start = r.position();
+                        let _ = r.get_raw(len);
+                        args.push(self.non_zero_copy.slice(start..start + len));
+                    }
                     1 => {
                         let idx = r.get_u32() as usize;
                         args.push(self.zero_copy[idx].clone());

@@ -28,7 +28,10 @@ use std::rc::Rc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use simcore::{EventHandler, EventId, HandlerId, Sim, SimTime};
+use simcore::{
+    EventHandler, EventId, HandlerId, LaneCtx, LaneId, RunMode, ShardActor, ShardEventId,
+    ShardedSim, Sim, SimTime,
+};
 
 // ---------------------------------------------------------------------
 // Counting allocator: every heap alloc in the process goes through here.
@@ -113,6 +116,11 @@ impl Lcg {
 /// mirroring the parcel layer's flush-window timer: re-armed on every
 /// tick, it only fires once the actor goes quiet.
 const TIMEOUT_AHEAD: u64 = 16 * 1024;
+
+/// Conservative lookahead of the sharded runs: the expanse wire's one-way
+/// propagation latency (`netsim::WireModel::expanse().latency_ns`) — the
+/// minimum distance any cross-locality delivery keeps from `now`.
+const SHARD_LOOKAHEAD: u64 = 1_000;
 
 // ---------------------------------------------------------------------
 // Baseline: replica of the seed engine (BinaryHeap + boxed closures).
@@ -353,6 +361,173 @@ fn run_engine(ticks: u64) -> (Rc<NewWorkload>, Sim) {
 }
 
 // ---------------------------------------------------------------------
+// Sharded engine: the same fig1-shaped mix on `simcore::ShardedSim`,
+// one lane per actor, deliveries crossing lanes through the wire (and so
+// through the cross-shard mailboxes whenever the lanes live apart).
+// ---------------------------------------------------------------------
+
+struct ShardTick {
+    rng: Lcg,
+    /// Deliveries go to the next lane in the ring — cross-shard for every
+    /// round-robin placement with more than one shard.
+    peer: LaneId,
+    budget: u64,
+    ticks_done: u64,
+    deliveries: u64,
+    timeout: Option<ShardEventId>,
+    timeouts_fired: u64,
+}
+
+impl ShardActor for ShardTick {
+    fn on_event(&mut self, ctx: &mut LaneCtx<'_>, arg: u64) {
+        match arg & 0b11 {
+            EV_TICK => {
+                if self.budget == 0 {
+                    return;
+                }
+                self.budget -= 1;
+                self.ticks_done += 1;
+                let tick_d = self.rng.tick_delta();
+                let deliver_d = self.rng.deliver_delta();
+                let now = ctx.now();
+                // The delivery rides the wire: one propagation latency
+                // (the lookahead) plus the jitter the 1-engine run uses.
+                ctx.send(self.peer, now + SHARD_LOOKAHEAD + deliver_d, EV_DELIVER);
+                let moved = self.timeout.map(|ev| ctx.reschedule(ev, now + TIMEOUT_AHEAD));
+                if moved != Some(true) {
+                    self.timeout = Some(ctx.schedule_at(now + TIMEOUT_AHEAD, EV_TIMEOUT));
+                }
+                ctx.schedule_at(now + tick_d, EV_TICK);
+            }
+            EV_DELIVER => self.deliveries += 1,
+            EV_TIMEOUT => {
+                self.timeout = None;
+                self.timeouts_fired += 1;
+            }
+            _ => unreachable!("unknown event tag"),
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+/// Build the 64-lane workload on `shards` shards (round-robin placement),
+/// `ticks_per_lane` ticks each, seeded identically to the 1-engine run.
+fn build_sharded(shards: usize, ticks_per_lane: u64, capture: bool) -> ShardedSim {
+    let mut sim = ShardedSim::new(shards, SHARD_LOOKAHEAD);
+    if capture {
+        sim.set_exec_capture(true);
+    }
+    for i in 0..ACTORS {
+        let lane = sim.add_actor(
+            i % shards,
+            Box::new(ShardTick {
+                rng: Lcg(0x9E37_79B9_7F4A_7C15 ^ ((i as u64) << 17)),
+                peer: LaneId(((i + 1) % ACTORS) as u32),
+                budget: ticks_per_lane,
+                ticks_done: 0,
+                deliveries: 0,
+                timeout: None,
+                timeouts_fired: 0,
+            }),
+        );
+        assert_eq!(lane.0 as usize, i);
+    }
+    for i in 0..ACTORS {
+        sim.seed(LaneId(i as u32), SimTime::from_nanos(i as u64), EV_TICK);
+    }
+    sim
+}
+
+/// Workload self-check: every tick ran, every delivery landed, every
+/// armed timeout fired exactly once.
+fn check_sharded(sim: &ShardedSim, ticks_per_lane: u64) {
+    let mut ticks = 0u64;
+    let mut deliveries = 0u64;
+    let mut timeouts = 0u64;
+    for i in 0..ACTORS {
+        let a = sim.actor::<ShardTick>(LaneId(i as u32)).expect("actor present");
+        ticks += a.ticks_done;
+        deliveries += a.deliveries;
+        timeouts += a.timeouts_fired;
+    }
+    assert_eq!(ticks, ticks_per_lane * ACTORS as u64, "sharded workload self-check: ticks");
+    assert_eq!(deliveries, ticks, "sharded workload self-check: deliveries");
+    assert_eq!(timeouts, ACTORS as u64, "each lane's single timeout fires once");
+}
+
+struct ShardedRun {
+    shards: usize,
+    mode: RunMode,
+    m: Measured,
+}
+
+/// One measured sharded run. The executor is `ShardedSim::run`'s own
+/// choice (threads when the host has them, sequential otherwise) — the
+/// numbers describe what a user of the engine actually gets on this host.
+fn run_sharded_perf(shards: usize, total_ticks: u64) -> ShardedRun {
+    let ticks_per_lane = total_ticks / ACTORS as u64;
+    let mut sim = build_sharded(shards, ticks_per_lane, false);
+    let mut mode = RunMode::Sequential;
+    let m = measure(ticks_per_lane * ACTORS as u64, || {
+        let report = sim.run();
+        mode = report.mode;
+        (report.executed, report.end.as_nanos())
+    });
+    check_sharded(&sim, ticks_per_lane);
+    ShardedRun { shards, mode, m }
+}
+
+/// Hard determinism gate: the canonical digest of the sharded workload
+/// must be identical at every shard count (the 1-shard run is the
+/// reference semantics). Uses a smaller tick budget — capture allocates —
+/// and, when the host has threads, checks the threaded executor too.
+fn check_sharded_determinism() -> bool {
+    const DET_TICKS_PER_LANE: u64 = 1_000;
+    let mut reference = build_sharded(1, DET_TICKS_PER_LANE, true);
+    reference.run_sequential();
+    let want = reference.digest();
+    let mut ok = true;
+    for &shards in &[2usize, 4, 8] {
+        let mut seq = build_sharded(shards, DET_TICKS_PER_LANE, true);
+        seq.run_sequential();
+        if seq.digest() != want {
+            eprintln!("DETERMINISM VIOLATION: {shards} shards (sequential) diverged from 1 shard");
+            ok = false;
+        }
+        let mut thr = build_sharded(shards, DET_TICKS_PER_LANE, true);
+        thr.run_threaded();
+        if thr.digest() != want {
+            eprintln!("DETERMINISM VIOLATION: {shards} shards (threaded) diverged from 1 shard");
+            ok = false;
+        }
+    }
+    ok
+}
+
+/// Steady-state allocation check for the sharded engine, O(1)-style:
+/// doubling the event count must not grow the allocation count beyond a
+/// small constant slack (slab/mailbox/scratch reuse means the extra
+/// events recycle storage). Returns `(allocs_1x, growth)`.
+fn sharded_alloc_growth(shards: usize) -> (u64, i64) {
+    const BASE_TICKS_PER_LANE: u64 = 2_000;
+    let run = |ticks: u64| -> u64 {
+        let mut sim = build_sharded(shards, ticks, false);
+        let a0 = allocs();
+        sim.run();
+        allocs() - a0
+    };
+    // Warm the allocator's size classes so neither measured run pays
+    // one-time global growth.
+    run(BASE_TICKS_PER_LANE);
+    let one = run(BASE_TICKS_PER_LANE);
+    let two = run(2 * BASE_TICKS_PER_LANE);
+    (one, two as i64 - one as i64)
+}
+
+// ---------------------------------------------------------------------
 // Reporting.
 // ---------------------------------------------------------------------
 
@@ -391,7 +566,7 @@ fn measure_workload<F: FnOnce() -> (u64, u64)>(f: F) -> Measured {
     measure(0, f)
 }
 
-fn json_workload_block(m: &Measured) -> String {
+fn json_workload_block(m: &Measured, alloc_ceiling: u64) -> String {
     format!(
         concat!(
             "{{\n",
@@ -400,10 +575,17 @@ fn json_workload_block(m: &Measured) -> String {
             "    \"events_per_sec\": {:.0},\n",
             "    \"sim_ns_per_wall_ms\": {:.0},\n",
             "    \"allocations\": {},\n",
+            "    \"alloc_ceiling\": {},\n",
             "    \"alloc_bytes\": {}\n",
             "  }}"
         ),
-        m.events, m.wall_ms, m.events_per_sec, m.sim_ns_per_wall_ms, m.allocations, m.alloc_bytes,
+        m.events,
+        m.wall_ms,
+        m.events_per_sec,
+        m.sim_ns_per_wall_ms,
+        m.allocations,
+        alloc_ceiling,
+        m.alloc_bytes,
     )
 }
 
@@ -501,9 +683,52 @@ fn main() {
         (r.events_executed, r.total.as_nanos())
     });
 
+    // --- sharded engine: scaling curve + determinism + O(1) allocs ---
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let sharded_deterministic = check_sharded_determinism();
+    let sharded: Vec<ShardedRun> =
+        [1usize, 2, 4, 8].iter().map(|&s| run_sharded_perf(s, TICKS)).collect();
+    let ticks_1shard = sharded[0].m.ticks_per_sec;
+    let speedup_4shard = sharded[2].m.ticks_per_sec / ticks_1shard;
+    let (alloc_1x_1s, alloc_growth_1s) = sharded_alloc_growth(1);
+    let (alloc_1x_4s, alloc_growth_4s) = sharded_alloc_growth(4);
+    /// Doubling the workload may add at most this many allocations
+    /// (thread spawns and one-time growth are constant; events recycle).
+    const ALLOC_GROWTH_SLACK: i64 = 512;
+    let sharded_allocs_ok =
+        alloc_growth_1s <= ALLOC_GROWTH_SLACK && alloc_growth_4s <= ALLOC_GROWTH_SLACK;
+    // The wall-clock speedup gate only means something when the host can
+    // actually run shards in parallel; on a single-CPU host the engine
+    // (correctly) picks the sequential executor, so only determinism and
+    // allocation behaviour are gated there. Floors: >= 2x at 4 shards on
+    // a >= 4-CPU host, >= 1x on any multi-CPU host.
+    let sharded_speedup_ok = if host_cpus >= 4 {
+        speedup_4shard >= 2.0
+    } else if host_cpus > 1 {
+        speedup_4shard >= 1.0
+    } else {
+        true
+    };
+
+    // Per-scenario allocation ceilings, pinned from the audited counts
+    // (fig1: ~8 allocations/message after the zero-copy decode work —
+    // args vec, encode writer+handle, header writer+handle, decode vecs,
+    // one task box; octotiger: dominated by intrinsic per-leaf payload
+    // encodes and task spawns). Headroom is ~25% over the measured value;
+    // the pre-audit counts (281k / 434k) fail these ceilings.
+    const FIG1_ALLOC_CEILING: u64 = 200_000;
+    const OCTO_ALLOC_CEILING: u64 = 500_000;
+    let workload_allocs_ok =
+        fig1.allocations <= FIG1_ALLOC_CEILING && octo.allocations <= OCTO_ALLOC_CEILING;
+
     let speedup = eng.ticks_per_sec / base.ticks_per_sec;
     let zero_hot_allocs = hot_allocs == 0;
-    let pass = speedup >= THRESHOLD && zero_hot_allocs;
+    let pass = speedup >= THRESHOLD
+        && zero_hot_allocs
+        && sharded_deterministic
+        && sharded_allocs_ok
+        && sharded_speedup_ok
+        && workload_allocs_ok;
 
     println!("baseline (BinaryHeap + boxed closures, stale timeouts):");
     println!("  events executed   {:>12}", base.events);
@@ -521,19 +746,83 @@ fn main() {
     println!();
     println!("real workloads (current engine, trajectory):");
     println!(
-        "  fig1-style 8B msgrate  {:>10.0} events/sec  {:>9.0} sim-ns/wall-ms",
-        fig1.events_per_sec, fig1.sim_ns_per_wall_ms
+        "  fig1-style 8B msgrate  {:>10.0} events/sec  {:>9.0} sim-ns/wall-ms  \
+         {} allocs (ceiling {FIG1_ALLOC_CEILING})",
+        fig1.events_per_sec, fig1.sim_ns_per_wall_ms, fig1.allocations
     );
     println!(
-        "  octotiger-mini level 4 {:>10.0} events/sec  {:>9.0} sim-ns/wall-ms",
-        octo.events_per_sec, octo.sim_ns_per_wall_ms
+        "  octotiger-mini level 4 {:>10.0} events/sec  {:>9.0} sim-ns/wall-ms  \
+         {} allocs (ceiling {OCTO_ALLOC_CEILING})",
+        octo.events_per_sec, octo.sim_ns_per_wall_ms, octo.allocations
     );
+    println!();
+    println!(
+        "sharded engine ({ACTORS} lanes, lookahead {SHARD_LOOKAHEAD} ns, host CPUs: {host_cpus}):"
+    );
+    for r in &sharded {
+        println!(
+            "  {} shard{} [{}]: {:>11.0} ticks/sec  {:>11.0} events/sec  speedup {:>5.2}x",
+            r.shards,
+            if r.shards == 1 { " " } else { "s" },
+            match r.mode {
+                RunMode::Sequential => "seq",
+                RunMode::Threaded => "thr",
+            },
+            r.m.ticks_per_sec,
+            r.m.events_per_sec,
+            r.m.ticks_per_sec / ticks_1shard,
+        );
+    }
+    println!(
+        "  determinism (digest, 1 vs 2/4/8 shards, seq+thr): {}",
+        if sharded_deterministic { "ok" } else { "VIOLATED" }
+    );
+    println!(
+        "  alloc growth on 2x events: 1-shard {alloc_growth_1s:+} (of {alloc_1x_1s}), \
+         4-shard {alloc_growth_4s:+} (of {alloc_1x_4s})  [slack {ALLOC_GROWTH_SLACK}]"
+    );
+    if host_cpus == 1 {
+        println!("  speedup gate skipped: single-CPU host (sequential executor selected)");
+    }
     println!();
     println!("speedup (logical ticks/sec): {speedup:.2}x  (threshold {THRESHOLD}x)");
     println!("hot-path allocations: {hot_allocs} (must be 0)");
+    println!(
+        "workload allocation ceilings: {}",
+        if workload_allocs_ok { "ok" } else { "EXCEEDED" }
+    );
     println!("peak heap: {} bytes", peak_bytes());
     println!("result: {}", if pass { "PASS" } else { "FAIL" });
 
+    let sharded_configs: String = sharded
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "      {{\n",
+                    "        \"shards\": {},\n",
+                    "        \"mode\": \"{}\",\n",
+                    "        \"events_executed\": {},\n",
+                    "        \"wall_ms\": {:.3},\n",
+                    "        \"events_per_sec\": {:.0},\n",
+                    "        \"logical_ticks_per_sec\": {:.0},\n",
+                    "        \"speedup_vs_1shard\": {:.3}\n",
+                    "      }}"
+                ),
+                r.shards,
+                match r.mode {
+                    RunMode::Sequential => "sequential",
+                    RunMode::Threaded => "threaded",
+                },
+                r.m.events,
+                r.m.wall_ms,
+                r.m.events_per_sec,
+                r.m.ticks_per_sec,
+                r.m.ticks_per_sec / ticks_1shard,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         concat!(
             "{{\n",
@@ -544,6 +833,15 @@ fn main() {
             "  \"engine\": {},\n",
             "  \"fig1_msgrate_8b\": {},\n",
             "  \"octotiger_level4\": {},\n",
+            "  \"sharded\": {{\n",
+            "    \"host_cpus\": {},\n",
+            "    \"lookahead_ns\": {},\n",
+            "    \"deterministic\": {},\n",
+            "    \"alloc_growth_2x_1shard\": {},\n",
+            "    \"alloc_growth_2x_4shard\": {},\n",
+            "    \"speedup_4shard_vs_1shard\": {:.3},\n",
+            "    \"configs\": [\n{}\n    ]\n",
+            "  }},\n",
             "  \"speedup_ticks_per_sec\": {:.3},\n",
             "  \"threshold\": {},\n",
             "  \"hot_path_allocations\": {},\n",
@@ -555,8 +853,15 @@ fn main() {
         TICKS,
         json_block(&base),
         json_block(&eng),
-        json_workload_block(&fig1),
-        json_workload_block(&octo),
+        json_workload_block(&fig1, FIG1_ALLOC_CEILING),
+        json_workload_block(&octo, OCTO_ALLOC_CEILING),
+        host_cpus,
+        SHARD_LOOKAHEAD,
+        sharded_deterministic,
+        alloc_growth_1s,
+        alloc_growth_4s,
+        speedup_4shard,
+        sharded_configs,
         speedup,
         THRESHOLD,
         hot_allocs,

@@ -133,24 +133,29 @@ pub fn run_msgrate(p: &MsgRateParams) -> MsgRateResult {
     let injected_done_at = Rc::new(Cell::new(SimTime::ZERO));
     let injected = Rc::new(Cell::new(0usize));
     let loc0 = world.locality(0).clone();
+    // One payload allocation for the whole run: every message clones the
+    // handle (a refcount bump), exactly like a real sender reusing a
+    // registered buffer. Keeps the steady-state injector allocation-light.
+    let payload = Bytes::from(vec![0u8; p.msg_size]);
     for i in 0..tasks {
         let at = interval_ns.map_or(SimTime::ZERO, |iv| SimTime::from_nanos(iv * i as u64));
         let loc = loc0.clone();
         let injected = injected.clone();
         let injected_done_at = injected_done_at.clone();
         let batch = p.batch;
-        let size = p.msg_size;
+        let payload = payload.clone();
         world.sim.schedule_at(at, move |sim| {
             let injected = injected.clone();
             let injected_done_at = injected_done_at.clone();
             let loc2 = loc.clone();
+            let payload = payload.clone();
             loc2.spawn(
                 sim,
                 0,
                 Box::new(move |sim, loc, core| {
                     let mut t = sim.now();
                     for _ in 0..batch {
-                        t = loc.send_action(sim, core, 1, sink, vec![Bytes::from(vec![0u8; size])]);
+                        t = loc.send_action(sim, core, 1, sink, vec![payload.clone()]);
                     }
                     let n = injected.get() + batch;
                     injected.set(n);

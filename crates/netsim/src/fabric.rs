@@ -141,6 +141,20 @@ impl Fabric {
         &self.model
     }
 
+    /// Minimum one-way propagation latency across all links, ns.
+    ///
+    /// This is the conservative-PDES lookahead the fabric guarantees: a
+    /// packet handed to the wire is never visible at its destination
+    /// earlier than `send time + min_lookahead()` (see [`Fabric::send`]:
+    /// `deliver_at = wire_free + latency_ns >= now + latency_ns`). A
+    /// sharded engine may therefore run localities up to one lookahead
+    /// apart without risking an event in any shard's past. The wire model
+    /// is uniform today, so this is simply its fixed latency; a
+    /// heterogeneous-topology fabric must return the minimum over links.
+    pub fn min_lookahead(&self) -> u64 {
+        self.model.latency_ns
+    }
+
     /// Enable fault injection (tests only).
     pub fn set_faults(&mut self, fault: FaultConfig) {
         self.fault = fault;
@@ -515,6 +529,28 @@ mod tests {
         assert_eq!(fab.link_busy_ns(1), 0, "receiver's TX link stays idle");
         assert!(fab.link_utilization(0, SimTime::from_millis(1)) > 0.0);
         assert_eq!(fab.link_utilization(0, SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn min_lookahead_bounds_every_delivery() {
+        let model = WireModel::expanse();
+        let mut sim = Sim::new(1);
+        let mut fab = Fabric::new(2, model);
+        let la = fab.min_lookahead();
+        assert_eq!(la, fab.model().latency_ns);
+        assert!(la > 0, "expanse wire has real propagation latency");
+        // Every delivery instant respects the advertised lookahead, even
+        // for back-to-back posts queueing on the wire.
+        for i in 0..20 {
+            let posted = sim.now();
+            let out = fab.send(&mut sim, 0, posted, pkt(0, 1, i, 4096));
+            assert!(
+                out.deliver_at.as_nanos() >= posted.as_nanos() + la,
+                "delivery {i} undercuts the lookahead"
+            );
+        }
+        // The ideal (zero-latency) model is honest about offering none.
+        assert_eq!(Fabric::new(2, WireModel::ideal()).min_lookahead(), 0);
     }
 
     #[test]

@@ -135,6 +135,21 @@ pub fn build_world(cfg: &WorldConfig, registry: ActionRegistry) -> World {
     if let Some(f) = &cfg.faults {
         fabric.borrow_mut().set_faults(f.clone());
     }
+    // The wire's propagation latency is the conservative lookahead the
+    // sharded engine relies on: a locality may only be reached from
+    // another locality `>= min_lookahead()` ns in the future. A
+    // zero-latency wire would force lockstep execution of all localities
+    // (every shard window would close immediately), so reject it here —
+    // at construction, with a config-level error — rather than let a run
+    // quietly serialize.
+    assert!(
+        fabric.borrow().min_lookahead() > 0,
+        "wire model '{}' has zero propagation latency: a zero-latency fabric offers no \
+         conservative lookahead and would force lockstep (fully serialized) execution; \
+         give WireModel::latency_ns a value >= 1 (the 'ideal' preset is only usable for \
+         direct Fabric unit tests, not for World-level runs)",
+        cfg.wire.name,
+    );
 
     let dedicated = cfg.pp.dedicated_progress();
     let rt_cfg = RuntimeConfig {
@@ -260,6 +275,14 @@ mod tests {
         let finished = world.run_while(10_000_000_000, move |_s| h2.get() < n);
         assert!(finished, "{ppname}: only {}/{} actions ran", hits.get(), n);
         assert!(bytes_ok.get(), "{ppname}: payload corrupted");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero propagation latency")]
+    fn zero_latency_wire_is_rejected() {
+        let mut cfg = WorldConfig::two_nodes("lci_psr_cq_pin_i".parse().unwrap(), 4);
+        cfg.wire = WireModel::ideal();
+        let _ = build_world(&cfg, ActionRegistry::new());
     }
 
     #[test]

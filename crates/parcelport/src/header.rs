@@ -152,8 +152,11 @@ pub struct HeaderInfo {
 }
 
 impl HeaderInfo {
-    /// Decode a header message.
-    pub fn decode(header: &[u8]) -> HeaderInfo {
+    /// Decode a header message. Piggybacked chunks come out as zero-copy
+    /// sub-views of the header buffer (refcount bumps, no allocation) —
+    /// the header was received into registered storage and the chunks can
+    /// alias it for their whole lifetime.
+    pub fn decode(header: &Bytes) -> HeaderInfo {
         let mut r = Reader::new(header);
         let tag_base = r.get_u64();
         let zc_count = r.get_u32();
@@ -161,15 +164,13 @@ impl HeaderInfo {
         let nzc_size = r.get_u32();
         let trans_size = r.get_u32();
         let nzc = if flags & FLAG_PIGGY_NZC != 0 {
-            let mut buf = vec![0u8; nzc_size as usize];
-            buf.copy_from_slice(&header[FIXED_FIELDS..FIXED_FIELDS + nzc_size as usize]);
-            Some(Bytes::from(buf))
+            Some(header.slice(FIXED_FIELDS..FIXED_FIELDS + nzc_size as usize))
         } else {
             None
         };
         let trans = if flags & FLAG_PIGGY_TRANS != 0 {
             let off = FIXED_FIELDS + nzc_size as usize;
-            Some(Bytes::copy_from_slice(&header[off..off + trans_size as usize]))
+            Some(header.slice(off..off + trans_size as usize))
         } else {
             None
         };

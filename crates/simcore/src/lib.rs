@@ -36,6 +36,7 @@ pub mod json;
 pub mod lock;
 pub mod probe;
 pub mod resource;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -48,6 +49,7 @@ pub use json::escape_json;
 pub use lock::{SimLock, SimTryLock, TryAcquire};
 pub use probe::Probe;
 pub use resource::SimResource;
+pub use shard::{LaneCtx, LaneId, RunMode, RunReport, ShardActor, ShardEventId, ShardedSim};
 pub use sim::Sim;
 pub use stats::{Stats, Summary};
 pub use time::SimTime;

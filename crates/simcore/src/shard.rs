@@ -1,0 +1,1429 @@
+//! The sharded parallel event engine: conservative (Chandy–Misra style)
+//! parallel discrete-event simulation with wire-latency lookahead.
+//!
+//! # Model
+//!
+//! The single-threaded [`Sim`](crate::Sim) funnels every event through one
+//! heap pop loop. This module shards that loop: the workload is split into
+//! **lanes** (a lane ≈ one simulated locality: a unit of strictly
+//! sequential execution), lanes are assigned to **shards**, and each shard
+//! runs its own indexed four-ary heap — on its own OS thread in the
+//! threaded executor.
+//!
+//! Correctness rests on one workload contract, enforced at runtime:
+//! events scheduled *across lanes* must fire at least `lookahead`
+//! nanoseconds in the future (`at >= now + lookahead`). In the simulated
+//! network this is free: a packet handed to the wire is never visible at
+//! the destination before one propagation latency has elapsed
+//! (`netsim::Fabric::min_lookahead`), which is exactly the null-message
+//! lookahead a conservative parallel DES needs. Same-lane scheduling is
+//! unrestricted.
+//!
+//! # Execution: frontiers and the lookahead barrier
+//!
+//! Shards advance in epochs. At each epoch barrier every shard publishes
+//! its **frontier** (the timestamp of its earliest pending event); the
+//! epoch window is `min(frontiers) + lookahead`, and every shard then
+//! executes all local events strictly before the window end, in parallel.
+//! Any cross-shard event produced inside the window fires at
+//! `>= now + lookahead >= min(frontiers) + lookahead`, i.e. in a later
+//! window — so no shard can receive an event in its past. Cross-shard
+//! events travel through per-(source, destination) mailboxes (each mutex
+//! touched by exactly one producer and one consumer) drained at the next
+//! barrier, before frontiers are recomputed.
+//!
+//! # Determinism: the canonical merge rule
+//!
+//! Every event carries the key `(fire_time, scheduling_lane,
+//! per-lane sequence)`; shard heaps order by it, and cross-shard arrivals
+//! are sorted by it before insertion. Because a lane executes sequentially
+//! no matter which shard hosts it, and cross-lane interaction always pays
+//! the lookahead, the key is independent of the shard count *and* of
+//! thread scheduling: running a workload on 1 shard, on N shards
+//! sequentially, or on N shards with real threads yields bit-identical
+//! per-lane execution and an identical canonical global order (sort all
+//! executed events by `(time, lane, seq)`). The determinism proptests and
+//! golden traces pin this.
+//!
+//! When every lane maps to its own shard the tie-break reduces to
+//! `(time, shard_id, seq)` — the per-locality sharding the parcelport
+//! simulation uses.
+//!
+//! # Observability
+//!
+//! Per-shard [`Stats`], [`Tracer`] spans and causal provenance are
+//! captured thread-locally (workers never contend) and merged
+//! deterministically after the run ([`Stats::merge`],
+//! [`causal::merge_sharded`]). All capture is off by default and costs one
+//! branch per event when disabled — the same zero-overhead-when-disabled
+//! invariant the single-threaded engine pins.
+
+use std::any::Any;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::causal::{self, ShardCausalData};
+use crate::stats::Stats;
+use crate::time::SimTime;
+use crate::trace::Tracer;
+
+/// A lane: the unit of sequential execution and of shard placement
+/// (≈ one simulated locality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaneId(pub u32);
+
+/// Lanes live in the top 20 bits of the packed key; per-lane sequence
+/// numbers in the low 44. A run can hold ~1M lanes and ~17.5T events per
+/// lane before the packing overflows (both asserted).
+const LANE_SHIFT: u32 = 44;
+const MAX_LANES: u32 = 1 << 20;
+const SEQ_MASK: u64 = (1 << LANE_SHIFT) - 1;
+
+#[inline]
+fn pack_key(lane: u32, seq: u64) -> u64 {
+    debug_assert!(lane < MAX_LANES && seq <= SEQ_MASK);
+    ((lane as u64) << LANE_SHIFT) | seq
+}
+
+/// Causal node ids are namespaced per shard the same way: shard index in
+/// the high bits, the shard's 1-based executed counter in the low 44.
+#[inline]
+fn node_gid(shard: u32, local: u64) -> u64 {
+    ((shard as u64) << LANE_SHIFT) | local
+}
+
+/// A component that owns one lane and receives its typed events.
+///
+/// Unlike [`EventHandler`](crate::EventHandler) (shared via `Rc`, interior
+/// mutability), a shard actor is *owned* by its shard and dispatched with
+/// `&mut self` — which is what lets shards move onto OS threads: the actor
+/// only has to be `Send`, never `Sync`.
+pub trait ShardActor: Send + Any {
+    /// An event scheduled for this actor's lane fired at `ctx.now()`.
+    fn on_event(&mut self, ctx: &mut LaneCtx<'_>, arg: u64);
+
+    /// Downcast support, so tests and harnesses can read actor state back
+    /// out of [`ShardedSim::actor`] after a run.
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// Handle to a pending event on the scheduling lane, as returned by
+/// [`LaneCtx::schedule_at`]. Generation-checked like
+/// [`EventId`](crate::EventId): stale handles fail `cancel`/`reschedule`
+/// instead of touching a recycled slot. Only the scheduling lane may
+/// cancel or reschedule (cross-lane events return no handle — they are on
+/// another thread's heap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardEventId {
+    slot: u32,
+    gen: u32,
+}
+
+/// One event crossing a shard boundary, in flight through a mailbox.
+#[derive(Debug, Clone, Copy)]
+struct RemoteEvent {
+    at: SimTime,
+    /// Canonical key minted by the *scheduling* lane.
+    key: u64,
+    /// Destination lane's slot index on its home shard.
+    slot: u32,
+    arg: u64,
+    /// Provenance: causal gid of the scheduling event.
+    parent: u64,
+}
+
+/// Where a lane lives.
+#[derive(Debug, Clone, Copy)]
+struct LaneLoc {
+    shard: u32,
+    slot: u32,
+}
+
+// ---------------------------------------------------------------------
+// ShardQueue: the per-shard indexed four-ary heap.
+// ---------------------------------------------------------------------
+
+const NO_POS: u32 = u32::MAX;
+
+/// One slab slot: `(at, key)` ordering, generation, heap position, payload.
+/// Everything is `Copy` — the queue is `Send` by construction, unlike
+/// [`EventQueue`](crate::event) whose closure payloads pin it to one
+/// thread.
+#[derive(Debug, Clone, Copy)]
+struct QSlot {
+    at: SimTime,
+    key: u64,
+    lane_slot: u32,
+    /// Scheduling lane (cancel/reschedule owner check).
+    owner_lane: u32,
+    arg: u64,
+    parent: u64,
+    gen: u32,
+    pos: u32,
+}
+
+/// A popped, ready-to-dispatch event.
+#[derive(Debug, Clone, Copy)]
+struct Ready {
+    at: SimTime,
+    key: u64,
+    lane_slot: u32,
+    arg: u64,
+    parent: u64,
+}
+
+/// Indexed four-ary min-heap over `(time, canonical key)` with slab
+/// storage and a free list — the same layout as the single-threaded
+/// engine's queue, restricted to `Copy` payloads.
+#[derive(Debug, Default)]
+struct ShardQueue {
+    heap: Vec<u32>,
+    slots: Vec<QSlot>,
+    free: Vec<u32>,
+}
+
+impl ShardQueue {
+    fn new() -> Self {
+        ShardQueue::default()
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[inline]
+    fn key(&self, slot: u32) -> (SimTime, u64) {
+        let s = &self.slots[slot as usize];
+        (s.at, s.key)
+    }
+
+    /// Earliest pending fire time, as raw ns (`u64::MAX` when empty) —
+    /// the shard's frontier contribution.
+    #[inline]
+    fn peek_ns(&self) -> u64 {
+        match self.heap.first() {
+            Some(&slot) => self.slots[slot as usize].at.as_nanos(),
+            None => u64::MAX,
+        }
+    }
+
+    fn insert(
+        &mut self,
+        at: SimTime,
+        key: u64,
+        owner_lane: u32,
+        lane_slot: u32,
+        arg: u64,
+        parent: u64,
+    ) -> ShardEventId {
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.at = at;
+                s.key = key;
+                s.owner_lane = owner_lane;
+                s.lane_slot = lane_slot;
+                s.arg = arg;
+                s.parent = parent;
+                slot
+            }
+            None => {
+                self.slots.push(QSlot {
+                    at,
+                    key,
+                    lane_slot,
+                    owner_lane,
+                    arg,
+                    parent,
+                    gen: 0,
+                    pos: NO_POS,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let pos = self.heap.len();
+        self.heap.push(slot);
+        self.slots[slot as usize].pos = pos as u32;
+        self.sift_up(pos);
+        ShardEventId { slot, gen: self.slots[slot as usize].gen }
+    }
+
+    fn contains(&self, id: ShardEventId) -> bool {
+        self.slots.get(id.slot as usize).is_some_and(|s| s.gen == id.gen && s.pos != NO_POS)
+    }
+
+    /// The scheduling lane of a pending event (owner check for cancels).
+    fn owner(&self, id: ShardEventId) -> Option<u32> {
+        if self.contains(id) {
+            Some(self.slots[id.slot as usize].owner_lane)
+        } else {
+            None
+        }
+    }
+
+    fn cancel(&mut self, id: ShardEventId) -> bool {
+        if !self.contains(id) {
+            return false;
+        }
+        let pos = self.slots[id.slot as usize].pos as usize;
+        self.remove_at(pos);
+        self.release(id.slot);
+        true
+    }
+
+    fn reschedule(&mut self, id: ShardEventId, at: SimTime, key: u64) -> bool {
+        if !self.contains(id) {
+            return false;
+        }
+        {
+            let s = &mut self.slots[id.slot as usize];
+            s.at = at;
+            s.key = key;
+        }
+        let pos = self.slots[id.slot as usize].pos as usize;
+        self.sift_up(pos);
+        let pos = self.slots[id.slot as usize].pos as usize;
+        self.sift_down(pos);
+        true
+    }
+
+    /// Pop the earliest event if it fires strictly before `window_end_ns`.
+    fn pop_before(&mut self, window_end_ns: u64) -> Option<Ready> {
+        let &slot = self.heap.first()?;
+        let s = self.slots[slot as usize];
+        if s.at.as_nanos() >= window_end_ns {
+            return None;
+        }
+        self.remove_at(0);
+        self.release(slot);
+        Some(Ready { at: s.at, key: s.key, lane_slot: s.lane_slot, arg: s.arg, parent: s.parent })
+    }
+
+    fn remove_at(&mut self, pos: usize) {
+        let last = self.heap.len() - 1;
+        self.heap.swap(pos, last);
+        self.heap.pop();
+        if pos < self.heap.len() {
+            let moved = self.heap[pos];
+            self.slots[moved as usize].pos = pos as u32;
+            self.sift_down(pos);
+            let now_at = self.slots[moved as usize].pos as usize;
+            self.sift_up(now_at);
+        }
+    }
+
+    fn release(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.pos = NO_POS;
+        self.free.push(slot);
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 4;
+            if self.key(self.heap[parent]) <= self.key(self.heap[i]) {
+                break;
+            }
+            self.swap_pos(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let first = 4 * i + 1;
+            if first >= self.heap.len() {
+                break;
+            }
+            let last = (first + 4).min(self.heap.len());
+            let mut min = first;
+            let mut min_key = self.key(self.heap[first]);
+            for c in first + 1..last {
+                let k = self.key(self.heap[c]);
+                if k < min_key {
+                    min = c;
+                    min_key = k;
+                }
+            }
+            if self.key(self.heap[i]) <= min_key {
+                break;
+            }
+            self.swap_pos(i, min);
+            i = min;
+        }
+    }
+
+    #[inline]
+    fn swap_pos(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.slots[self.heap[a] as usize].pos = a as u32;
+        self.slots[self.heap[b] as usize].pos = b as u32;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mailboxes: per-(destination, source) SPSC lanes behind light mutexes.
+// ---------------------------------------------------------------------
+
+/// Cross-shard mail. `boxes[dst][src]` is touched by exactly two parties
+/// — shard `src` pushing during its window, shard `dst` draining at the
+/// barrier — and never both at once for a *correct* workload (drains
+/// happen with all windows quiesced), so the mutexes are uncontended in
+/// steady state; they exist to make the hand-off sound against the
+/// barrier's memory ordering rather than to arbitrate real contention.
+#[derive(Debug)]
+pub(crate) struct Mailboxes {
+    boxes: Vec<Vec<Mutex<Vec<RemoteEvent>>>>,
+}
+
+impl Mailboxes {
+    fn new(shards: usize) -> Self {
+        Mailboxes {
+            boxes: (0..shards)
+                .map(|_| (0..shards).map(|_| Mutex::new(Vec::new())).collect())
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn push(&self, dst: usize, src: usize, ev: RemoteEvent) {
+        self.boxes[dst][src].lock().expect("mailbox poisoned").push(ev);
+    }
+
+    /// Move every pending event addressed to `dst` into `scratch`
+    /// (capacity of both sides is retained — steady state allocates
+    /// nothing).
+    fn drain_into(&self, dst: usize, scratch: &mut Vec<RemoteEvent>) {
+        for src in self.boxes[dst].iter() {
+            let mut q = src.lock().expect("mailbox poisoned");
+            scratch.append(&mut q);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The epoch barrier.
+// ---------------------------------------------------------------------
+
+/// Window sentinel: all frontiers at infinity — the run is over.
+const WINDOW_DONE: u64 = u64::MAX;
+
+/// Two-phase sense-reversing barrier with a min-reduction.
+///
+/// Phase A quiesces execution (after it, every send of the closing window
+/// is visible in the mailboxes). Each shard then drains its mail and
+/// publishes its frontier into phase B's reduction; the last arrival
+/// computes the next window `min(frontiers) + lookahead` and releases
+/// everyone. Parking (`Condvar`) rather than spinning: the engine must
+/// degrade gracefully when shards outnumber cores.
+struct EpochBarrier {
+    n: usize,
+    lookahead: u64,
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+}
+
+struct BarrierState {
+    arrived: usize,
+    gen: u64,
+    min_ns: u64,
+    window_ns: u64,
+}
+
+impl EpochBarrier {
+    fn new(n: usize, lookahead: u64) -> Self {
+        EpochBarrier {
+            n,
+            lookahead,
+            state: Mutex::new(BarrierState { arrived: 0, gen: 0, min_ns: u64::MAX, window_ns: 0 }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Phase A: wait until every shard has stopped executing its window.
+    fn quiesce(&self) {
+        let mut st = self.state.lock().expect("barrier poisoned");
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.arrived = 0;
+            st.gen += 1;
+            self.cv.notify_all();
+        } else {
+            let gen = st.gen;
+            while st.gen == gen {
+                st = self.cv.wait(st).expect("barrier poisoned");
+            }
+        }
+    }
+
+    /// Phase B: publish this shard's frontier; returns the next window end
+    /// (exclusive), or `None` when every frontier is at infinity.
+    fn next_window(&self, frontier_ns: u64) -> Option<u64> {
+        let mut st = self.state.lock().expect("barrier poisoned");
+        st.min_ns = st.min_ns.min(frontier_ns);
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.arrived = 0;
+            st.window_ns = if st.min_ns == u64::MAX {
+                WINDOW_DONE
+            } else {
+                st.min_ns.saturating_add(self.lookahead)
+            };
+            st.min_ns = u64::MAX;
+            st.gen += 1;
+            self.cv.notify_all();
+        } else {
+            let gen = st.gen;
+            while st.gen == gen {
+                st = self.cv.wait(st).expect("barrier poisoned");
+            }
+        }
+        if st.window_ns == WINDOW_DONE {
+            None
+        } else {
+            Some(st.window_ns)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ShardCore: one shard's queue, lanes, clock and capture buffers.
+// ---------------------------------------------------------------------
+
+/// One executed-event record, for canonical digests and golden traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecRec {
+    /// Fire time, ns.
+    pub at: u64,
+    /// Canonical key `(lane << 44) | lane_seq` of the scheduling lane.
+    pub key: u64,
+    /// Lane the event fired on.
+    pub lane: u32,
+    /// Argument word.
+    pub arg: u64,
+}
+
+struct LaneSlot {
+    lane: u32,
+    /// Per-lane canonical sequence counter.
+    seq: u64,
+    actor: Option<Box<dyn ShardActor>>,
+}
+
+/// Everything one shard owns. `Send` by construction: moved onto a worker
+/// thread by the threaded executor, driven in place by the sequential one.
+struct ShardCore {
+    shard: u32,
+    now: SimTime,
+    executed: u64,
+    /// Causal gid of the event being dispatched (0 outside dispatch).
+    current_gid: u64,
+    queue: ShardQueue,
+    lanes: Vec<LaneSlot>,
+    stats: Stats,
+    tracer: Option<Tracer>,
+    exec_log: Option<Vec<ExecRec>>,
+    causal: Option<ShardCausalData>,
+    capture_causal: bool,
+    lookahead: u64,
+    registry: Arc<Vec<LaneLoc>>,
+    mail: Arc<Mailboxes>,
+    /// Reused drain buffer (steady state allocates nothing).
+    scratch: Vec<RemoteEvent>,
+}
+
+// The registry and mailboxes are Sync (immutable / mutex-guarded); actors
+// are Send; everything else is owned plain data.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ShardCore>();
+};
+
+impl ShardCore {
+    /// Drain inbound mail into the local heap. Arrivals are sorted by the
+    /// canonical key before insertion so the heap's internal layout — not
+    /// just its pop order — is independent of producer thread timing.
+    fn drain_inboxes(&mut self) {
+        self.mail.drain_into(self.shard as usize, &mut self.scratch);
+        if self.scratch.is_empty() {
+            return;
+        }
+        self.scratch.sort_unstable_by_key(|e| (e.at, e.key));
+        for i in 0..self.scratch.len() {
+            let e = self.scratch[i];
+            let owner = (e.key >> LANE_SHIFT) as u32;
+            self.queue.insert(e.at, e.key, owner, e.slot, e.arg, e.parent);
+        }
+        self.scratch.clear();
+    }
+
+    /// Execute every local event firing strictly before `window_end_ns`.
+    fn run_window(&mut self, window_end_ns: u64) {
+        while let Some(ev) = self.queue.pop_before(window_end_ns) {
+            debug_assert!(ev.at >= self.now, "shard time must not go backwards");
+            self.now = ev.at;
+            self.executed += 1;
+            let gid = node_gid(self.shard, self.executed);
+            self.current_gid = gid;
+            if self.capture_causal {
+                causal::on_execute(gid, ev.at.as_nanos(), ev.parent);
+            }
+            if let Some(log) = &mut self.exec_log {
+                log.push(ExecRec {
+                    at: ev.at.as_nanos(),
+                    key: ev.key,
+                    lane: self.lanes[ev.lane_slot as usize].lane,
+                    arg: ev.arg,
+                });
+            }
+            // Detach the actor so the dispatch can borrow the core
+            // mutably; an actor never addresses itself through the
+            // context's lane table, so the hole is unobservable.
+            let mut actor = self.lanes[ev.lane_slot as usize]
+                .actor
+                .take()
+                .expect("actor present outside dispatch");
+            let mut ctx = LaneCtx { core: self, lane_slot: ev.lane_slot };
+            actor.on_event(&mut ctx, ev.arg);
+            self.lanes[ev.lane_slot as usize].actor = Some(actor);
+            self.current_gid = 0;
+            if self.capture_causal {
+                causal::end_execute();
+            }
+        }
+    }
+
+    /// Mint the canonical key for the next event scheduled by `lane_slot`.
+    #[inline]
+    fn next_key(&mut self, lane_slot: u32) -> u64 {
+        let slot = &mut self.lanes[lane_slot as usize];
+        let seq = slot.seq;
+        slot.seq += 1;
+        assert!(seq <= SEQ_MASK, "lane {} overflowed its sequence space", slot.lane);
+        pack_key(slot.lane, seq)
+    }
+}
+
+// ---------------------------------------------------------------------
+// LaneCtx: what an actor sees during dispatch.
+// ---------------------------------------------------------------------
+
+/// Scheduling context handed to [`ShardActor::on_event`]: the dispatching
+/// shard's clock, stats and queue, scoped to the firing lane.
+pub struct LaneCtx<'a> {
+    core: &'a mut ShardCore,
+    lane_slot: u32,
+}
+
+impl LaneCtx<'_> {
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.now
+    }
+
+    /// The lane this event fired on.
+    #[inline]
+    pub fn lane(&self) -> LaneId {
+        LaneId(self.core.lanes[self.lane_slot as usize].lane)
+    }
+
+    /// The shard hosting this lane.
+    #[inline]
+    pub fn shard(&self) -> usize {
+        self.core.shard as usize
+    }
+
+    /// The engine's cross-lane lookahead, ns.
+    #[inline]
+    pub fn lookahead(&self) -> u64 {
+        self.core.lookahead
+    }
+
+    /// This shard's statistic counters (merged across shards post-run).
+    #[inline]
+    pub fn stats(&mut self) -> &mut Stats {
+        &mut self.core.stats
+    }
+
+    /// This shard's span tracer, when tracing is enabled.
+    #[inline]
+    pub fn tracer(&mut self) -> Option<&mut Tracer> {
+        self.core.tracer.as_mut()
+    }
+
+    /// Schedule an event on this lane at absolute time `at` (clamped to
+    /// `now`). Returns a cancellable handle.
+    pub fn schedule_at(&mut self, at: SimTime, arg: u64) -> ShardEventId {
+        let at = at.max(self.core.now);
+        let key = self.core.next_key(self.lane_slot);
+        let lane = self.core.lanes[self.lane_slot as usize].lane;
+        self.core.queue.insert(at, key, lane, self.lane_slot, arg, self.core.current_gid)
+    }
+
+    /// Schedule an event on this lane `delay_ns` from now.
+    pub fn schedule_in(&mut self, delay_ns: u64, arg: u64) -> ShardEventId {
+        self.schedule_at(self.core.now + delay_ns, arg)
+    }
+
+    /// Send an event to `dest` (possibly on another shard) firing at `at`.
+    ///
+    /// Cross-lane sends must respect the lookahead: `at >= now +
+    /// lookahead`, panicking otherwise — the violation would let a shard
+    /// observe an event in its past. The bound is enforced for co-resident
+    /// lanes too, so a workload's legality never depends on placement.
+    pub fn send(&mut self, dest: LaneId, at: SimTime, arg: u64) {
+        let now = self.core.now;
+        let my_lane = self.core.lanes[self.lane_slot as usize].lane;
+        if dest.0 == my_lane {
+            self.schedule_at(at, arg);
+            return;
+        }
+        assert!(
+            at >= now + self.core.lookahead,
+            "cross-lane send violates conservative lookahead: lane {} -> lane {} at {} < now {} + lookahead {}",
+            my_lane,
+            dest.0,
+            at.as_nanos(),
+            now.as_nanos(),
+            self.core.lookahead,
+        );
+        let key = self.core.next_key(self.lane_slot);
+        let loc = self.core.registry[dest.0 as usize];
+        let parent = self.core.current_gid;
+        if loc.shard == self.core.shard {
+            self.core.queue.insert(at, key, my_lane, loc.slot, arg, parent);
+        } else {
+            self.core.mail.push(
+                loc.shard as usize,
+                self.core.shard as usize,
+                RemoteEvent { at, key, slot: loc.slot, arg, parent },
+            );
+        }
+    }
+
+    /// Cancel a pending event scheduled by this lane. Returns `false` on a
+    /// stale handle; panics if the event belongs to another lane.
+    pub fn cancel(&mut self, id: ShardEventId) -> bool {
+        match self.core.queue.owner(id) {
+            None => false,
+            Some(owner) => {
+                let my_lane = self.core.lanes[self.lane_slot as usize].lane;
+                assert_eq!(owner, my_lane, "lane {my_lane} cancelling lane {owner}'s event");
+                self.core.queue.cancel(id)
+            }
+        }
+    }
+
+    /// Move a pending event of this lane to fire at `at` (clamped to
+    /// `now`). Re-keyed as if newly scheduled — identical ordering to
+    /// cancel + schedule, without the churn.
+    pub fn reschedule(&mut self, id: ShardEventId, at: SimTime) -> bool {
+        match self.core.queue.owner(id) {
+            None => false,
+            Some(owner) => {
+                let my_lane = self.core.lanes[self.lane_slot as usize].lane;
+                assert_eq!(owner, my_lane, "lane {my_lane} rescheduling lane {owner}'s event");
+                let at = at.max(self.core.now);
+                let key = self.core.next_key(self.lane_slot);
+                self.core.queue.reschedule(id, at, key)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// ShardedSim: construction, executors, post-run access.
+// ---------------------------------------------------------------------
+
+/// How a run was executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunMode {
+    /// All shards interleaved on the calling thread (same epoch algorithm,
+    /// same results).
+    Sequential,
+    /// One OS thread per shard.
+    Threaded,
+}
+
+/// What a run did.
+#[derive(Debug, Clone, Copy)]
+pub struct RunReport {
+    /// Events executed, summed over shards.
+    pub executed: u64,
+    /// Latest event time across shards (the makespan).
+    pub end: SimTime,
+    /// Number of epoch windows.
+    pub epochs: u64,
+    /// Executor used.
+    pub mode: RunMode,
+}
+
+/// The sharded engine. See the module docs for the execution model.
+pub struct ShardedSim {
+    cores: Vec<ShardCore>,
+    /// Lane -> placement. Snapshotted into an `Arc` shared by the cores at
+    /// run start (lanes are added between runs, never during one).
+    registry: Vec<LaneLoc>,
+    lookahead: u64,
+    capture_causal: bool,
+}
+
+impl ShardedSim {
+    /// Create an engine with `shards` shards and the given conservative
+    /// lookahead (ns). The lookahead must be strictly positive: a
+    /// zero-lookahead configuration would force lockstep execution (every
+    /// window would close immediately), which is exactly the degenerate
+    /// case [`netsim`'s positive-latency check] exists to reject.
+    pub fn new(shards: usize, lookahead_ns: u64) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        assert!(
+            lookahead_ns >= 1,
+            "conservative lookahead must be strictly positive: a zero-latency wire would force \
+             lockstep execution (no shard could ever run ahead); give the model a latency >= 1ns"
+        );
+        let mail = Arc::new(Mailboxes::new(shards));
+        let cores = (0..shards as u32)
+            .map(|shard| ShardCore {
+                shard,
+                now: SimTime::ZERO,
+                executed: 0,
+                current_gid: 0,
+                queue: ShardQueue::new(),
+                lanes: Vec::new(),
+                stats: Stats::new(),
+                tracer: None,
+                exec_log: None,
+                causal: None,
+                capture_causal: false,
+                lookahead: lookahead_ns,
+                registry: Arc::new(Vec::new()),
+                mail: mail.clone(),
+                scratch: Vec::new(),
+            })
+            .collect();
+        ShardedSim { cores, registry: Vec::new(), lookahead: lookahead_ns, capture_causal: false }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The conservative lookahead, ns.
+    pub fn lookahead(&self) -> u64 {
+        self.lookahead
+    }
+
+    /// Add an actor as a new lane on `shard`. Returns the lane id.
+    pub fn add_actor(&mut self, shard: usize, actor: Box<dyn ShardActor>) -> LaneId {
+        assert!(shard < self.cores.len(), "shard {shard} out of range");
+        let lane = self.registry.len() as u32;
+        assert!(lane < MAX_LANES, "too many lanes");
+        let slot = self.cores[shard].lanes.len() as u32;
+        self.registry.push(LaneLoc { shard: shard as u32, slot });
+        self.cores[shard].lanes.push(LaneSlot { lane, seq: 0, actor: Some(actor) });
+        LaneId(lane)
+    }
+
+    /// Seed an event for `lane` at absolute time `at` before the run
+    /// starts (provenance parent 0, key minted from the lane's counter —
+    /// exactly as if the lane scheduled it itself at time zero).
+    pub fn seed(&mut self, lane: LaneId, at: SimTime, arg: u64) {
+        let loc = self.registry[lane.0 as usize];
+        let core = &mut self.cores[loc.shard as usize];
+        let key = core.next_key(loc.slot);
+        core.queue.insert(at, key, lane.0, loc.slot, arg, 0);
+    }
+
+    /// Record every executed event (time, canonical key, lane, arg) for
+    /// [`Self::canonical_log`] / [`Self::digest`]. Off by default; one
+    /// branch per event when off.
+    pub fn set_exec_capture(&mut self, on: bool) {
+        for core in &mut self.cores {
+            core.exec_log = if on { Some(Vec::new()) } else { None };
+        }
+    }
+
+    /// Give every shard a span tracer (merged by [`Self::merged_tracer`]).
+    pub fn set_tracing(&mut self, on: bool) {
+        for core in &mut self.cores {
+            core.tracer = if on { Some(Tracer::new()) } else { None };
+        }
+    }
+
+    /// Capture causal provenance per shard (merged by
+    /// [`Self::merged_causal`]). Pure observation: enabling it must not
+    /// move any timeline — pinned by the sharded golden traces.
+    pub fn set_causal_capture(&mut self, on: bool) {
+        self.capture_causal = on;
+        for core in &mut self.cores {
+            core.capture_causal = on;
+        }
+    }
+
+    /// Run to completion, choosing the executor: real threads when there
+    /// is more than one shard *and* the host has more than one CPU,
+    /// otherwise the sequential executor (identical results either way —
+    /// that equivalence is what the determinism tests pin).
+    pub fn run(&mut self) -> RunReport {
+        let parallel = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if self.cores.len() > 1 && parallel > 1 {
+            self.run_threaded()
+        } else {
+            self.run_sequential()
+        }
+    }
+
+    /// Run every shard interleaved on the calling thread: epochs advance
+    /// exactly as in the threaded executor (drain, frontier reduction,
+    /// window execution in shard order), without barriers.
+    pub fn run_sequential(&mut self) -> RunReport {
+        self.sync_registry();
+        // Per-shard causal logs live on this thread; installed around each
+        // shard's window so the thread-local collector sees one shard's
+        // contiguous node ids at a time.
+        let logs: Vec<_> = if self.capture_causal {
+            self.cores.iter().map(|_| Some(causal::CausalLog::new())).collect()
+        } else {
+            self.cores.iter().map(|_| None).collect()
+        };
+        let mut epochs = 0u64;
+        loop {
+            let mut min_ns = u64::MAX;
+            for core in &mut self.cores {
+                core.drain_inboxes();
+                min_ns = min_ns.min(core.queue.peek_ns());
+            }
+            if min_ns == u64::MAX {
+                break;
+            }
+            let window = min_ns.saturating_add(self.lookahead);
+            epochs += 1;
+            for (core, log) in self.cores.iter_mut().zip(&logs) {
+                if let Some(log) = log {
+                    causal::install(log.clone());
+                }
+                core.run_window(window);
+                if log.is_some() {
+                    causal::uninstall();
+                }
+            }
+        }
+        for (core, log) in self.cores.iter_mut().zip(logs) {
+            if let Some(log) = log {
+                core.causal = Some(log.take_data());
+            }
+        }
+        self.report(epochs, RunMode::Sequential)
+    }
+
+    /// Run one OS thread per shard with the two-phase lookahead barrier.
+    pub fn run_threaded(&mut self) -> RunReport {
+        self.sync_registry();
+        let n = self.cores.len();
+        if n == 1 {
+            // One shard: the barrier would synchronize with nobody.
+            let mut report = self.run_sequential();
+            report.mode = RunMode::Threaded;
+            return report;
+        }
+        let barrier = EpochBarrier::new(n, self.lookahead);
+        let epochs = Mutex::new(0u64);
+        let mut cores = std::mem::take(&mut self.cores);
+        std::thread::scope(|s| {
+            let barrier = &barrier;
+            let epochs = &epochs;
+            let handles: Vec<_> = cores
+                .drain(..)
+                .map(|mut core| {
+                    s.spawn(move || {
+                        // Worker-thread-local capture: fresh collector,
+                        // zero contention; harvested into the core below.
+                        let log = if core.capture_causal {
+                            let log = causal::CausalLog::new();
+                            causal::install(log.clone());
+                            Some(log)
+                        } else {
+                            None
+                        };
+                        let mut my_epochs = 0u64;
+                        loop {
+                            // Phase A: all windows quiesced, mail stable.
+                            barrier.quiesce();
+                            core.drain_inboxes();
+                            // Phase B: frontier reduction -> next window.
+                            let Some(window) = barrier.next_window(core.queue.peek_ns()) else {
+                                break;
+                            };
+                            my_epochs += 1;
+                            core.run_window(window);
+                        }
+                        if let Some(log) = log {
+                            causal::uninstall();
+                            core.causal = Some(log.take_data());
+                        }
+                        let mut e = epochs.lock().expect("epoch counter poisoned");
+                        *e = (*e).max(my_epochs);
+                        core
+                    })
+                })
+                .collect();
+            for h in handles {
+                self.cores.push(h.join().expect("shard worker panicked"));
+            }
+        });
+        // Joining in spawn order keeps `cores[i].shard == i`.
+        debug_assert!(self.cores.iter().enumerate().all(|(i, c)| c.shard as usize == i));
+        let epochs = *epochs.lock().expect("epoch counter poisoned");
+        self.report(epochs, RunMode::Threaded)
+    }
+
+    /// Hand every core a snapshot of the lane placement table.
+    fn sync_registry(&mut self) {
+        let reg = Arc::new(self.registry.clone());
+        for core in &mut self.cores {
+            core.registry = reg.clone();
+        }
+    }
+
+    fn report(&self, epochs: u64, mode: RunMode) -> RunReport {
+        RunReport {
+            executed: self.cores.iter().map(|c| c.executed).sum(),
+            end: self.cores.iter().map(|c| c.now).max().unwrap_or(SimTime::ZERO),
+            epochs,
+            mode,
+        }
+    }
+
+    /// Events executed, summed over shards.
+    pub fn executed(&self) -> u64 {
+        self.cores.iter().map(|c| c.executed).sum()
+    }
+
+    /// Latest event time across shards.
+    pub fn end(&self) -> SimTime {
+        self.cores.iter().map(|c| c.now).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Merged statistics (per-shard bags folded in shard order; merging is
+    /// commutative, so the order is a convention, not a dependency).
+    pub fn stats(&self) -> Stats {
+        let mut out = Stats::new();
+        for core in &self.cores {
+            out.merge(&core.stats);
+        }
+        out
+    }
+
+    /// One shard's statistics.
+    pub fn shard_stats(&self, shard: usize) -> &Stats {
+        &self.cores[shard].stats
+    }
+
+    /// Borrow an actor back (e.g. to read workload results post-run).
+    pub fn actor<T: ShardActor>(&self, lane: LaneId) -> Option<&T> {
+        let loc = self.registry.get(lane.0 as usize)?;
+        let slot = self.cores[loc.shard as usize].lanes.get(loc.slot as usize)?;
+        slot.actor.as_ref()?.as_any().downcast_ref::<T>()
+    }
+
+    /// The canonical global execution log: every executed event, sorted by
+    /// `(time, lane, lane_seq)`. Identical across shard counts, executors
+    /// and thread schedules — the deterministic merge rule made tangible.
+    /// Requires [`Self::set_exec_capture`].
+    pub fn canonical_log(&self) -> Vec<ExecRec> {
+        let mut all: Vec<ExecRec> = Vec::new();
+        for core in &self.cores {
+            if let Some(log) = &core.exec_log {
+                all.extend_from_slice(log);
+            }
+        }
+        all.sort_unstable_by_key(|r| (r.at, r.key));
+        all
+    }
+
+    /// FNV-1a digest of the canonical execution log.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for r in self.canonical_log() {
+            for x in [r.at, r.key, r.lane as u64, r.arg] {
+                for b in x.to_le_bytes() {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100000001b3);
+                }
+            }
+        }
+        h
+    }
+
+    /// Merge per-shard tracers into one (spans in shard order, then
+    /// recording order — deterministic). Tracers are left in place.
+    pub fn merged_tracer(&self) -> Tracer {
+        let mut out = Tracer::new();
+        for core in &self.cores {
+            if let Some(tr) = &core.tracer {
+                for s in tr.spans() {
+                    out.span(s.track.clone(), s.label, s.start, s.end);
+                }
+            }
+        }
+        out
+    }
+
+    /// Merge per-shard causal captures into one contiguous log (see
+    /// [`causal::merge_sharded`]). `None` unless causal capture was on.
+    pub fn merged_causal(&mut self) -> Option<std::rc::Rc<causal::CausalLog>> {
+        if !self.capture_causal {
+            return None;
+        }
+        let shards: Vec<ShardCausalData> =
+            self.cores.iter_mut().filter_map(|c| c.causal.take()).collect();
+        if shards.is_empty() {
+            return None;
+        }
+        Some(causal::merge_sharded(shards))
+    }
+
+    /// Total events still pending across all shard heaps (mailboxes are
+    /// empty outside a run).
+    pub fn events_pending(&self) -> usize {
+        self.cores.iter().map(|c| c.queue.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Ping-pong actor: on every event, bounce to the peer lane one
+    /// lookahead (+jitter) ahead, `rounds` times; also exercise a
+    /// self-timer that is rescheduled on every bounce.
+    struct Pinger {
+        peer: LaneId,
+        rounds: u64,
+        bounces: u64,
+        timer: Option<ShardEventId>,
+        timer_fired: u64,
+        log: Vec<(u64, u64)>,
+    }
+
+    const EV_BOUNCE: u64 = 1;
+    const EV_TIMER: u64 = 2;
+
+    impl ShardActor for Pinger {
+        fn on_event(&mut self, ctx: &mut LaneCtx<'_>, arg: u64) {
+            self.log.push((ctx.now().as_nanos(), arg));
+            match arg {
+                EV_BOUNCE => {
+                    ctx.stats().bump("bounce");
+                    self.bounces += 1;
+                    if self.bounces < self.rounds {
+                        let jitter = self.bounces % 7;
+                        ctx.send(self.peer, ctx.now() + ctx.lookahead() + jitter, EV_BOUNCE);
+                    }
+                    let deadline = ctx.now() + 10 * ctx.lookahead();
+                    let moved = self.timer.map(|t| ctx.reschedule(t, deadline));
+                    if moved != Some(true) {
+                        self.timer = Some(ctx.schedule_at(deadline, EV_TIMER));
+                    }
+                }
+                EV_TIMER => {
+                    self.timer = None;
+                    self.timer_fired += 1;
+                }
+                _ => unreachable!(),
+            }
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn pingpong(shards: usize, threaded: bool) -> (u64, u64, Vec<(u64, u64)>, Vec<(u64, u64)>) {
+        const L: u64 = 100;
+        let mut sim = ShardedSim::new(shards, L);
+        sim.set_exec_capture(true);
+        let a = LaneId(0);
+        let b = LaneId(1);
+        let pa =
+            Pinger { peer: b, rounds: 50, bounces: 0, timer: None, timer_fired: 0, log: vec![] };
+        let pb =
+            Pinger { peer: a, rounds: 50, bounces: 0, timer: None, timer_fired: 0, log: vec![] };
+        assert_eq!(sim.add_actor(0, Box::new(pa)), a);
+        assert_eq!(sim.add_actor(shards.min(2) - 1, Box::new(pb)), b);
+        sim.seed(a, SimTime::from_nanos(0), EV_BOUNCE);
+        let report = if threaded { sim.run_threaded() } else { sim.run_sequential() };
+        assert_eq!(report.executed, sim.executed());
+        let la = sim.actor::<Pinger>(a).unwrap().log.clone();
+        let lb = sim.actor::<Pinger>(b).unwrap().log.clone();
+        (sim.digest(), report.executed, la, lb)
+    }
+
+    #[test]
+    fn one_vs_two_shards_identical() {
+        let (d1, e1, la1, lb1) = pingpong(1, false);
+        let (d2, e2, la2, lb2) = pingpong(2, false);
+        assert_eq!(e1, e2);
+        assert_eq!(d1, d2, "digest must be sharding-independent");
+        assert_eq!(la1, la2, "lane A's execution must be sharding-independent");
+        assert_eq!(lb1, lb2);
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let (ds, es, las, lbs) = pingpong(2, false);
+        let (dt, et, lat, lbt) = pingpong(2, true);
+        assert_eq!(es, et);
+        assert_eq!(ds, dt, "digest must be thread-schedule-independent");
+        assert_eq!(las, lat);
+        assert_eq!(lbs, lbt);
+    }
+
+    #[test]
+    fn stats_merge_across_shards() {
+        const L: u64 = 100;
+        let mut sim = ShardedSim::new(2, L);
+        let a = LaneId(0);
+        let b = LaneId(1);
+        sim.add_actor(
+            0,
+            Box::new(Pinger {
+                peer: b,
+                rounds: 10,
+                bounces: 0,
+                timer: None,
+                timer_fired: 0,
+                log: vec![],
+            }),
+        );
+        sim.add_actor(
+            1,
+            Box::new(Pinger {
+                peer: a,
+                rounds: 10,
+                bounces: 0,
+                timer: None,
+                timer_fired: 0,
+                log: vec![],
+            }),
+        );
+        sim.seed(a, SimTime::ZERO, EV_BOUNCE);
+        sim.run_sequential();
+        assert_eq!(sim.stats().get("bounce"), sim.executed() - 2, "timers fired twice");
+        assert!(sim.shard_stats(0).get("bounce") > 0);
+        assert!(sim.shard_stats(1).get("bounce") > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "conservative lookahead")]
+    fn cross_lane_send_below_lookahead_panics() {
+        struct Bad {
+            peer: LaneId,
+        }
+        impl ShardActor for Bad {
+            fn on_event(&mut self, ctx: &mut LaneCtx<'_>, _arg: u64) {
+                // One ns short of the lookahead: must panic even though
+                // both lanes share a shard.
+                let at = SimTime::from_nanos(ctx.now().as_nanos() + ctx.lookahead() - 1);
+                ctx.send(self.peer, at, 0);
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        struct Sink;
+        impl ShardActor for Sink {
+            fn on_event(&mut self, _ctx: &mut LaneCtx<'_>, _arg: u64) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut sim = ShardedSim::new(1, 50);
+        let b = LaneId(1);
+        sim.add_actor(0, Box::new(Bad { peer: b }));
+        sim.add_actor(0, Box::new(Sink));
+        sim.seed(LaneId(0), SimTime::ZERO, 0);
+        sim.run_sequential();
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn zero_lookahead_rejected() {
+        let _ = ShardedSim::new(2, 0);
+    }
+
+    #[test]
+    fn cancel_prevents_firing_and_is_deterministic() {
+        struct Canceller {
+            victim: Option<ShardEventId>,
+            fired: Vec<u64>,
+        }
+        impl ShardActor for Canceller {
+            fn on_event(&mut self, ctx: &mut LaneCtx<'_>, arg: u64) {
+                self.fired.push(arg);
+                if arg == 0 {
+                    self.victim = Some(ctx.schedule_in(10, 99));
+                    ctx.schedule_in(5, 1);
+                } else if arg == 1 {
+                    let v = self.victim.take().unwrap();
+                    assert!(ctx.cancel(v));
+                    assert!(!ctx.cancel(v), "stale handle");
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut sim = ShardedSim::new(2, 1);
+        let lane = sim.add_actor(0, Box::new(Canceller { victim: None, fired: vec![] }));
+        sim.seed(lane, SimTime::ZERO, 0);
+        sim.run_sequential();
+        let a = sim.actor::<Canceller>(lane).unwrap();
+        assert_eq!(a.fired, vec![0, 1], "cancelled event must not fire");
+    }
+
+    #[test]
+    fn causal_capture_is_complete_and_pure() {
+        // Same workload with and without capture: identical timelines.
+        let (d_off, e_off, ..) = pingpong(2, false);
+        const L: u64 = 100;
+        let mut sim = ShardedSim::new(2, L);
+        sim.set_exec_capture(true);
+        sim.set_causal_capture(true);
+        let a = LaneId(0);
+        let b = LaneId(1);
+        sim.add_actor(
+            0,
+            Box::new(Pinger {
+                peer: b,
+                rounds: 50,
+                bounces: 0,
+                timer: None,
+                timer_fired: 0,
+                log: vec![],
+            }),
+        );
+        sim.add_actor(
+            1,
+            Box::new(Pinger {
+                peer: a,
+                rounds: 50,
+                bounces: 0,
+                timer: None,
+                timer_fired: 0,
+                log: vec![],
+            }),
+        );
+        sim.seed(a, SimTime::ZERO, EV_BOUNCE);
+        sim.run_sequential();
+        assert_eq!(sim.digest(), d_off, "causal capture moved the timeline");
+        assert_eq!(sim.executed(), e_off);
+        let log = sim.merged_causal().expect("capture was on");
+        assert_eq!(log.node_count() as u64, e_off, "one provenance node per executed event");
+        log.with_data(|base, nodes, _marks| {
+            assert_eq!(base, 1);
+            for (i, n) in nodes.iter().enumerate() {
+                assert!(
+                    n.parent <= (i as u64),
+                    "parent {} of node {} not earlier",
+                    n.parent,
+                    i + 1
+                );
+            }
+        });
+        // Threaded capture merges to the same log shape.
+        let mut sim2 = ShardedSim::new(2, L);
+        sim2.set_causal_capture(true);
+        sim2.add_actor(
+            0,
+            Box::new(Pinger {
+                peer: b,
+                rounds: 50,
+                bounces: 0,
+                timer: None,
+                timer_fired: 0,
+                log: vec![],
+            }),
+        );
+        sim2.add_actor(
+            1,
+            Box::new(Pinger {
+                peer: a,
+                rounds: 50,
+                bounces: 0,
+                timer: None,
+                timer_fired: 0,
+                log: vec![],
+            }),
+        );
+        sim2.seed(a, SimTime::ZERO, EV_BOUNCE);
+        sim2.run_threaded();
+        let log2 = sim2.merged_causal().expect("capture was on");
+        assert_eq!(log2.node_count(), log.node_count());
+        let flat = |l: &causal::CausalLog| {
+            l.with_data(|_, ns, _| ns.iter().map(|n| (n.at, n.parent)).collect::<Vec<_>>())
+        };
+        assert_eq!(flat(&log2), flat(&log), "merged causal log must be executor-independent");
+    }
+
+    #[test]
+    fn tracer_merges_in_shard_order() {
+        struct Spanner;
+        impl ShardActor for Spanner {
+            fn on_event(&mut self, ctx: &mut LaneCtx<'_>, _arg: u64) {
+                let (now, lane) = (ctx.now(), ctx.lane().0);
+                if let Some(tr) = ctx.tracer() {
+                    tr.span(format!("lane{lane}"), "work", now, now + 5);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut sim = ShardedSim::new(2, 1);
+        let a = sim.add_actor(0, Box::new(Spanner));
+        let b = sim.add_actor(1, Box::new(Spanner));
+        sim.set_tracing(true);
+        sim.seed(a, SimTime::ZERO, 0);
+        sim.seed(b, SimTime::from_nanos(3), 0);
+        sim.run_sequential();
+        let tr = sim.merged_tracer();
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr.spans()[0].track, "lane0");
+        assert_eq!(tr.spans()[1].track, "lane1");
+    }
+
+    #[test]
+    fn run_auto_picks_an_executor_and_terminates() {
+        static TOTAL: AtomicU64 = AtomicU64::new(0);
+        struct Counter {
+            left: u64,
+        }
+        impl ShardActor for Counter {
+            fn on_event(&mut self, ctx: &mut LaneCtx<'_>, _arg: u64) {
+                TOTAL.fetch_add(1, Ordering::Relaxed);
+                if self.left > 0 {
+                    self.left -= 1;
+                    ctx.schedule_in(7, 0);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+        }
+        let mut sim = ShardedSim::new(4, 10);
+        for s in 0..4 {
+            let lane = sim.add_actor(s, Box::new(Counter { left: 100 }));
+            sim.seed(lane, SimTime::ZERO, 0);
+        }
+        let report = sim.run();
+        assert_eq!(report.executed, 4 * 101);
+        assert_eq!(sim.events_pending(), 0);
+        assert_eq!(report.end, SimTime::from_nanos(700));
+        assert!(report.epochs > 0);
+    }
+}

@@ -128,6 +128,164 @@ fn telemetry_enabled_is_pure_observation() {
     }
 }
 
+mod sharded {
+    //! Sharded-engine golden pins: the parallel engine's canonical
+    //! timeline for a fixed workload, frozen at capture time from the
+    //! 1-shard sequential run. Every placement (1/2/4 shards) and both
+    //! executors (sequential, threaded) must reproduce it bit-for-bit,
+    //! and turning on the tracer + causal capture must not move it —
+    //! observation stays pure under parallelism exactly as it does on
+    //! the single-threaded engine above.
+
+    use std::any::Any;
+
+    use hpx_lci_repro::simcore::{LaneCtx, LaneId, ShardActor, ShardedSim, SimTime};
+
+    const LOOKAHEAD_NS: u64 = 250;
+    const LANES: usize = 8;
+    const SEED: u64 = 0x5EED_601D_7274_ACE5;
+
+    /// Pinned `(end time ns, events executed, canonical digest)` for the
+    /// workload below, captured from the 1-shard sequential run.
+    const PIN_END_NS: u64 = 1_141;
+    const PIN_EXECUTED: u64 = 488;
+    const PIN_DIGEST: u64 = 0x653f_7b05_2802_134a;
+
+    /// Self-driving actor: each event advances a private xorshift RNG and
+    /// either schedules locally (ties at `now` included), sends cross-lane
+    /// at `now + lookahead + jitter`, or cancels/reschedules a pending
+    /// handle — the stream depends only on the seed and the actor's own
+    /// history, never on placement.
+    struct Pinned {
+        rng: u64,
+        budget: u32,
+        pending: Vec<hpx_lci_repro::simcore::ShardEventId>,
+    }
+
+    impl Pinned {
+        fn next(&mut self) -> u64 {
+            self.rng ^= self.rng << 13;
+            self.rng ^= self.rng >> 7;
+            self.rng ^= self.rng << 17;
+            self.rng
+        }
+    }
+
+    impl ShardActor for Pinned {
+        fn on_event(&mut self, ctx: &mut LaneCtx<'_>, _arg: u64) {
+            // One span per delivered event when the observer is on — the
+            // purity test below checks the merged population is complete.
+            let (now, lane) = (ctx.now(), ctx.lane().0);
+            if let Some(tr) = ctx.tracer() {
+                tr.span(format!("lane{lane}"), "event", now, now + 1);
+            }
+            for _ in 0..2 {
+                if self.budget == 0 {
+                    break;
+                }
+                let r = self.next();
+                match r % 4 {
+                    0 | 1 => {
+                        self.budget -= 1;
+                        let id = ctx.schedule_in(r >> 8 & 63, r);
+                        self.pending.push(id);
+                    }
+                    2 => {
+                        self.budget -= 1;
+                        let peer = LaneId((r as u32 >> 16) % LANES as u32);
+                        let at = ctx.now() + ctx.lookahead() + (r >> 8 & 31);
+                        ctx.send(peer, at, r);
+                    }
+                    _ => {
+                        if !self.pending.is_empty() {
+                            let i = (r as usize >> 16) % self.pending.len();
+                            if r & 1 == 0 {
+                                ctx.cancel(self.pending.swap_remove(i));
+                            } else {
+                                let at = ctx.now() + (r >> 8 & 127);
+                                ctx.reschedule(self.pending[i], at);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    fn run(shards: usize, threaded: bool, observed: bool) -> (u64, u64, u64, ShardedSim) {
+        let mut sim = ShardedSim::new(shards, LOOKAHEAD_NS);
+        sim.set_exec_capture(true);
+        if observed {
+            sim.set_tracing(true);
+            sim.set_causal_capture(true);
+        }
+        for lane in 0..LANES {
+            let w = Pinned {
+                rng: SEED ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(lane as u64 + 1),
+                budget: 60,
+                pending: Vec::new(),
+            };
+            sim.add_actor(lane % shards, Box::new(w));
+        }
+        for lane in 0..LANES as u32 {
+            sim.seed(LaneId(lane), SimTime::from_nanos(lane as u64 % 3), lane as u64);
+        }
+        let report = if threaded { sim.run_threaded() } else { sim.run_sequential() };
+        assert_eq!(sim.events_pending(), 0, "run must drain");
+        (report.end.as_nanos(), report.executed, sim.digest(), sim)
+    }
+
+    #[test]
+    #[ignore]
+    fn capture_pins() {
+        let (end, executed, digest, _) = run(1, false, false);
+        eprintln!("PIN_END_NS: {end}  PIN_EXECUTED: {executed}  PIN_DIGEST: {digest:#018x}");
+    }
+
+    #[test]
+    fn every_placement_matches_the_pinned_timeline() {
+        for &(shards, threaded) in &[(1, false), (2, false), (2, true), (4, false), (4, true)] {
+            let (end, executed, digest, _) = run(shards, threaded, false);
+            let what =
+                format!("{shards} shard(s) {}", if threaded { "threaded" } else { "sequential" });
+            assert_eq!(end, PIN_END_NS, "{what}: virtual end time moved");
+            assert_eq!(executed, PIN_EXECUTED, "{what}: event count moved");
+            assert_eq!(digest, PIN_DIGEST, "{what}: canonical digest moved");
+        }
+    }
+
+    #[test]
+    fn tracer_and_causal_capture_stay_pure_under_sharding() {
+        for &(shards, threaded) in &[(1, false), (4, false), (4, true)] {
+            let (end, executed, digest, mut sim) = run(shards, threaded, true);
+            let what =
+                format!("{shards} shard(s) {}", if threaded { "threaded" } else { "sequential" });
+            assert_eq!(end, PIN_END_NS, "{what}: tracing moved the end time");
+            assert_eq!(executed, PIN_EXECUTED, "{what}: tracing moved the event count");
+            assert_eq!(digest, PIN_DIGEST, "{what}: tracing moved the digest");
+            // The observation itself must be complete and deterministic:
+            // the merged causal log records every executed event, and the
+            // merged tracer carries the same span population regardless of
+            // placement or executor.
+            let log = sim.merged_causal().expect("causal capture was on");
+            assert_eq!(
+                log.node_count() as u64,
+                executed,
+                "{what}: merged causal log must record every executed event"
+            );
+            let spans = sim.merged_tracer().spans().len();
+            assert_eq!(
+                spans as u64, executed,
+                "{what}: merged tracer must carry one span per executed event"
+            );
+        }
+    }
+}
+
 #[test]
 fn octotiger_trace_matches_pre_rewrite_engine() {
     use hpx_lci_repro::octotiger_mini::{run_octotiger, OctoParams};
