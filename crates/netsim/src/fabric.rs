@@ -9,16 +9,27 @@ use simcore::{Sim, SimResource, SimTime};
 
 use crate::model::WireModel;
 use crate::packet::{NodeId, Packet};
+use crate::topo::{SwitchFabric, Topology};
 
 /// Fault injection knobs (test-only; defaults are all off, matching the
 /// reliable, ordered delivery of an InfiniBand RC queue pair).
+///
+/// On a switched topology the faults are applied *per link*: every hop of
+/// a packet's route rolls independently, so a long path is proportionally
+/// more exposed — exactly why fault rates matter more at scale.
 #[derive(Debug, Clone, Default)]
 pub struct FaultConfig {
-    /// Probability a packet is delivered twice.
+    /// Probability a packet is delivered twice. On a topology, rolled per
+    /// link; the duplicate copy finishes the walk on its own.
     pub duplicate_prob: f64,
     /// Probability a packet swaps places with the previously queued packet
     /// on the same (src, dst) channel.
     pub reorder_prob: f64,
+    /// Probability a transfer is lost and link-level retransmitted (one
+    /// extra serialization plus a round trip on the affected link —
+    /// delivery stays reliable, like IB link-layer retry). On a topology,
+    /// rolled per link.
+    pub drop_prob: f64,
 }
 
 /// Result of posting a send descriptor.
@@ -88,6 +99,9 @@ pub struct Fabric {
     /// Per-(dst, ctx) round-robin cursor over sources.
     rx_cursor: Vec<usize>,
     wakers: Vec<Option<ArrivalWaker>>,
+    /// Switched interconnect behind the NICs; `None` = the original
+    /// direct point-to-point wire (preserved byte-for-byte).
+    topo: Option<SwitchFabric>,
     fault: FaultConfig,
     sent: u64,
     delivered: u64,
@@ -117,6 +131,7 @@ impl Fabric {
             queues: (0..nodes * nodes * contexts).map(|_| VecDeque::new()).collect(),
             rx_cursor: vec![0; nodes * contexts],
             wakers: (0..nodes).map(|_| None).collect(),
+            topo: None,
             fault: FaultConfig::default(),
             sent: 0,
             delivered: 0,
@@ -124,6 +139,40 @@ impl Fabric {
             link_busy: vec![0; nodes],
             model,
         }
+    }
+
+    /// Create a fabric whose NICs hang off a switched [`Topology`].
+    /// [`Topology::Direct`] yields exactly [`Fabric::new`].
+    pub fn with_topology(nodes: usize, model: WireModel, topology: &Topology) -> Self {
+        let mut fab = Fabric::new(nodes, model);
+        fab.install_topology(topology);
+        fab
+    }
+
+    /// Install (or clear, with [`Topology::Direct`]) the switched
+    /// interconnect on an existing fabric — used by world builders that
+    /// also configure contexts. Must happen before traffic flows.
+    pub fn install_topology(&mut self, topology: &Topology) {
+        assert!(self.sent == 0, "topology must be installed before traffic");
+        self.topo = topology.build(self.nodes);
+    }
+
+    /// The switched interconnect, if one is configured (for counters,
+    /// route inspection, and failure injection).
+    pub fn topology(&self) -> Option<&SwitchFabric> {
+        self.topo.as_ref()
+    }
+
+    /// Mutable access to the switched interconnect.
+    pub fn topology_mut(&mut self) -> Option<&mut SwitchFabric> {
+        self.topo.as_mut()
+    }
+
+    /// Administratively kill the link behind `(sw, port)` (both
+    /// directions) and reroute. Returns `false` without a topology or if
+    /// the link was already dead.
+    pub fn fail_link(&mut self, sw: usize, port: usize) -> bool {
+        self.topo.as_mut().is_some_and(|t| t.fail_link(sw, port))
     }
 
     /// Communication contexts per node.
@@ -148,11 +197,16 @@ impl Fabric {
     /// earlier than `send time + min_lookahead()` (see [`Fabric::send`]:
     /// `deliver_at = wire_free + latency_ns >= now + latency_ns`). A
     /// sharded engine may therefore run localities up to one lookahead
-    /// apart without risking an event in any shard's past. The wire model
-    /// is uniform today, so this is simply its fixed latency; a
-    /// heterogeneous-topology fabric must return the minimum over links.
+    /// apart without risking an event in any shard's past. On the direct
+    /// point-to-point wire this is the model's fixed latency; on a
+    /// switched topology it is the minimum *first-hop* (host NIC link)
+    /// latency — every walk starts by crossing the host link, and all
+    /// later hops only push delivery further out.
     pub fn min_lookahead(&self) -> u64 {
-        self.model.latency_ns
+        match &self.topo {
+            Some(t) => t.min_first_hop_latency(),
+            None => self.model.latency_ns,
+        }
     }
 
     /// Enable fault injection (tests only).
@@ -198,12 +252,39 @@ impl Fabric {
         let inj_start = cpu_done.max(self.wire_free[src]);
         let busy = self.model.injection_time(pkt.len());
         self.wire_free[src] = inj_start + busy;
-        let deliver_at = self.wire_free[src] + self.model.latency_ns;
         self.link_busy[src] += busy;
-        // Causal wire span: injection + serialization + propagation. The
-        // `fixed` part is pure propagation latency (what a latency knob
-        // scales); the rest is bandwidth-dependent.
-        causal::mark("net.wire", MarkKind::Wire, inj_start, deliver_at, self.model.latency_ns);
+        // Delivery instant of a fault-injected duplicate (topology mode
+        // forks the copy inside the walk, at the duplicating link).
+        let mut dup_at: Option<SimTime> = None;
+        let model = self.model.clone();
+        let fault = self.fault.clone();
+        let nic_done = self.wire_free[src];
+        let deliver_at = if let Some(topo) = &mut self.topo {
+            // Switched path: once injected, the packet walks the fabric
+            // hop by hop — queueing through every output-port buffer on
+            // its route. Per-link faults are rolled inside the walk.
+            let r = topo.walk(nic_done, src, dst, pkt.len(), &model, core, &fault, &mut sim.rng);
+            if r.retries > 0 {
+                sim.stats.bump("net.retransmitted");
+            }
+            dup_at = r.dup_deliver_at;
+            // Causal wire span: injection through final delivery; the
+            // `fixed` part is the path's pure propagation latency.
+            causal::mark("net.wire", MarkKind::Wire, inj_start, r.deliver_at, r.prop_ns);
+            r.deliver_at
+        } else {
+            let mut deliver_at = self.wire_free[src] + self.model.latency_ns;
+            if self.fault.drop_prob > 0.0 && sim.rng.gen_bool(self.fault.drop_prob.min(1.0)) {
+                // Wire-level loss: the NIC retransmits after a round trip.
+                sim.stats.bump("net.retransmitted");
+                deliver_at = deliver_at + busy + 2 * self.model.latency_ns;
+            }
+            // Causal wire span: injection + serialization + propagation.
+            // The `fixed` part is pure propagation latency (what a latency
+            // knob scales); the rest is bandwidth-dependent.
+            causal::mark("net.wire", MarkKind::Wire, inj_start, deliver_at, self.model.latency_ns);
+            deliver_at
+        };
 
         self.sent += 1;
         self.bytes_sent += pkt.len() as u64;
@@ -220,8 +301,11 @@ impl Fabric {
         });
 
         let chan = self.chan(src, dst, ctx);
-        let dup =
-            self.fault.duplicate_prob > 0.0 && sim.rng.gen_bool(self.fault.duplicate_prob.min(1.0));
+        // Channel-level duplication only applies on the direct wire; a
+        // topology already rolled per-link duplication inside the walk.
+        let dup = self.topo.is_none()
+            && self.fault.duplicate_prob > 0.0
+            && sim.rng.gen_bool(self.fault.duplicate_prob.min(1.0));
         let reorder =
             self.fault.reorder_prob > 0.0 && sim.rng.gen_bool(self.fault.reorder_prob.min(1.0));
 
@@ -229,7 +313,14 @@ impl Fabric {
             sim.stats.bump("net.duplicated");
             self.queues[chan].push_back(InFlight { deliver_at, pkt: pkt.clone() });
         }
-        self.queues[chan].push_back(InFlight { deliver_at, pkt });
+        match dup_at {
+            Some(at) => {
+                sim.stats.bump("net.duplicated");
+                self.queues[chan].push_back(InFlight { deliver_at, pkt: pkt.clone() });
+                self.queues[chan].push_back(InFlight { deliver_at: at, pkt });
+            }
+            None => self.queues[chan].push_back(InFlight { deliver_at, pkt }),
+        }
         if reorder {
             let q = &mut self.queues[chan];
             let n = q.len();
@@ -484,7 +575,7 @@ mod tests {
     fn duplication_fault_delivers_twice() {
         let mut sim = Sim::new(1);
         let mut fab = Fabric::new(2, WireModel::ideal());
-        fab.set_faults(FaultConfig { duplicate_prob: 1.0, reorder_prob: 0.0 });
+        fab.set_faults(FaultConfig { duplicate_prob: 1.0, ..FaultConfig::default() });
         fab.send(&mut sim, 0, SimTime::ZERO, pkt(0, 1, 9, 8));
         let mut got = 0;
         loop {
@@ -503,7 +594,7 @@ mod tests {
     fn reordering_fault_swaps_neighbours() {
         let mut sim = Sim::new(1);
         let mut fab = Fabric::new(2, WireModel::ideal());
-        fab.set_faults(FaultConfig { duplicate_prob: 0.0, reorder_prob: 1.0 });
+        fab.set_faults(FaultConfig { reorder_prob: 1.0, ..FaultConfig::default() });
         fab.send(&mut sim, 0, SimTime::ZERO, pkt(0, 1, 0, 8));
         fab.send(&mut sim, 0, SimTime::ZERO, pkt(0, 1, 1, 8));
         let mut tags = Vec::new();
@@ -551,6 +642,58 @@ mod tests {
         }
         // The ideal (zero-latency) model is honest about offering none.
         assert_eq!(Fabric::new(2, WireModel::ideal()).min_lookahead(), 0);
+    }
+
+    #[test]
+    fn topology_fabric_delivers_end_to_end() {
+        use crate::topo::Topology;
+        let mut sim = Sim::new(1);
+        let mut fab = Fabric::with_topology(16, WireModel::expanse(), &Topology::fat_tree_for(16));
+        assert_eq!(fab.min_lookahead(), 300, "lookahead becomes the first-hop link");
+        let out = fab.send(&mut sim, 0, SimTime::ZERO, pkt(0, 15, 5, 64));
+        sim.run_until(out.deliver_at);
+        match fab.poll(&mut sim, 0, 15) {
+            PollOutcome::Packet { pkt, arrived, .. } => {
+                assert_eq!(pkt.tag, 5);
+                assert_eq!(arrived, out.deliver_at);
+            }
+            _ => panic!("packet should be deliverable at its walk time"),
+        }
+        // Every port on the static route saw the packet.
+        let topo = fab.topology().expect("switched fabric");
+        for (sw, port) in topo.route_ports(0, 15) {
+            assert!(topo.port_counters(sw, port).xmit_pkts >= 1);
+        }
+    }
+
+    #[test]
+    fn direct_topology_is_plain_fabric() {
+        use crate::topo::Topology;
+        let mut sim = Sim::new(1);
+        let mut plain = Fabric::new(2, WireModel::expanse());
+        let mut via = Fabric::with_topology(2, WireModel::expanse(), &Topology::Direct);
+        assert!(via.topology().is_none());
+        assert_eq!(plain.min_lookahead(), via.min_lookahead());
+        let a = plain.send(&mut sim, 0, SimTime::ZERO, pkt(0, 1, 0, 256));
+        let b = via.send(&mut sim, 0, SimTime::ZERO, pkt(0, 1, 0, 256));
+        assert_eq!(a.deliver_at, b.deliver_at);
+        assert_eq!(a.cpu_done, b.cpu_done);
+    }
+
+    #[test]
+    fn direct_drop_fault_delays_but_delivers() {
+        let mut sim = Sim::new(1);
+        let mut fab = Fabric::new(2, WireModel::expanse());
+        let clean = fab.send(&mut sim, 0, SimTime::ZERO, pkt(0, 1, 0, 8)).deliver_at;
+        let mut fab = Fabric::new(2, WireModel::expanse());
+        fab.set_faults(FaultConfig { drop_prob: 1.0, ..FaultConfig::default() });
+        let out = fab.send(&mut sim, 0, SimTime::ZERO, pkt(0, 1, 0, 8));
+        assert!(out.deliver_at > clean, "retransmit must cost a round trip");
+        sim.run_until(out.deliver_at);
+        match fab.poll(&mut sim, 0, 1) {
+            PollOutcome::Packet { .. } => {}
+            _ => panic!("drop faults must stay reliable end-to-end"),
+        }
     }
 
     #[test]

@@ -25,7 +25,11 @@
 pub mod fabric;
 pub mod model;
 pub mod packet;
+pub mod topo;
 
 pub use fabric::{Fabric, FaultConfig, PollOutcome, SendOutcome};
 pub use model::WireModel;
 pub use packet::{NodeId, Packet};
+pub use topo::{
+    DragonflyParams, FatTreeParams, PortCounters, RoutingPolicy, SwitchFabric, Topology,
+};

@@ -10,7 +10,7 @@ use amt::sched::WorkerConfig;
 use amt::{Locality, Parcelport};
 use lci::{Device, DeviceConfig};
 use mpisim::{Comm, CommConfig};
-use netsim::{Fabric, FaultConfig, WireModel};
+use netsim::{Fabric, FaultConfig, Topology, WireModel};
 use simcore::{CostModel, Sim, Tracer};
 
 use crate::config::{Backend, PpConfig, Progress};
@@ -43,6 +43,10 @@ pub struct WorldConfig {
     /// Cost-model override — the what-if engine re-runs scenarios with
     /// scaled knobs through this. `None` uses the calibrated defaults.
     pub cost: Option<CostModel>,
+    /// Interconnect topology. [`Topology::Direct`] (the default) is the
+    /// original point-to-point wire; switched topologies route every
+    /// parcel through modeled switch ports.
+    pub topology: Topology,
 }
 
 impl WorldConfig {
@@ -60,7 +64,17 @@ impl WorldConfig {
             faults: None,
             lci_devices: 1,
             cost: None,
+            topology: Topology::Direct,
         }
+    }
+
+    /// A `localities`-node cluster wired through a fat-tree sized to fit
+    /// — the configuration for at-scale (fig-8-style) experiments.
+    pub fn cluster(pp: PpConfig, localities: usize, cores: usize) -> Self {
+        let mut cfg = WorldConfig::two_nodes(pp, cores);
+        cfg.localities = localities;
+        cfg.topology = Topology::fat_tree_for(localities);
+        cfg
     }
 }
 
@@ -132,23 +146,27 @@ pub fn build_world(cfg: &WorldConfig, registry: ActionRegistry) -> World {
         cfg.wire.clone(),
         cfg.lci_devices.max(1),
     )));
+    fabric.borrow_mut().install_topology(&cfg.topology);
     if let Some(f) = &cfg.faults {
         fabric.borrow_mut().set_faults(f.clone());
     }
-    // The wire's propagation latency is the conservative lookahead the
-    // sharded engine relies on: a locality may only be reached from
+    // The fabric's minimum first-hop latency is the conservative lookahead
+    // the sharded engine relies on: a locality may only be reached from
     // another locality `>= min_lookahead()` ns in the future. A
-    // zero-latency wire would force lockstep execution of all localities
+    // zero-latency fabric would force lockstep execution of all localities
     // (every shard window would close immediately), so reject it here —
     // at construction, with a config-level error — rather than let a run
-    // quietly serialize.
+    // quietly serialize. Holds for every topology: Direct uses the wire's
+    // propagation latency, switched topologies the shortest host NIC link.
     assert!(
         fabric.borrow().min_lookahead() > 0,
-        "wire model '{}' has zero propagation latency: a zero-latency fabric offers no \
-         conservative lookahead and would force lockstep (fully serialized) execution; \
-         give WireModel::latency_ns a value >= 1 (the 'ideal' preset is only usable for \
-         direct Fabric unit tests, not for World-level runs)",
+        "wire model '{}' over '{}' topology has zero propagation latency: a zero-latency \
+         fabric offers no conservative lookahead and would force lockstep (fully \
+         serialized) execution; give WireModel::latency_ns (or every topology link) a \
+         value >= 1 (the 'ideal' preset is only usable for direct Fabric unit tests, \
+         not for World-level runs)",
         cfg.wire.name,
+        cfg.topology.label(),
     );
 
     let dedicated = cfg.pp.dedicated_progress();
@@ -391,6 +409,40 @@ mod tests {
         );
         let s2 = seen.clone();
         assert!(world.run_while(5_000_000_000, move |_| !s2.get()));
+    }
+
+    #[test]
+    fn cluster_over_fat_tree_roundtrips() {
+        let mut registry = ActionRegistry::new();
+        let hits = Rc::new(Cell::new(0usize));
+        let h = hits.clone();
+        registry.register("sink", move |sim, _l, _c, _p| {
+            h.set(h.get() + 1);
+            sim.now() + 100
+        });
+        let sink = registry.id_of("sink").unwrap();
+        let cfg = WorldConfig::cluster("lci_psr_cq_pin_i".parse().unwrap(), 4, 4);
+        let mut world = build_world(&cfg, registry);
+        assert!(world.fabric.borrow().min_lookahead() > 0);
+        for dst in 1..4usize {
+            for _ in 0..5 {
+                let l0 = world.locality(0).clone();
+                l0.spawn(
+                    &mut world.sim,
+                    0,
+                    Box::new(move |sim, loc, core| {
+                        loc.send_action(sim, core, dst, sink, vec![Bytes::from_static(b"z")])
+                    }),
+                );
+            }
+        }
+        let h2 = hits.clone();
+        assert!(world.run_while(10_000_000_000, move |_| h2.get() < 15), "lost parcels");
+        // The parcels really crossed modeled switch ports.
+        let fab = world.fabric.borrow();
+        let topo = fab.topology().expect("cluster config must build a switched topology");
+        let carried: u64 = topo.ranked_ports().iter().map(|r| r.1.xmit_pkts).sum();
+        assert!(carried > 0, "switch ports must have carried traffic");
     }
 
     #[test]

@@ -15,7 +15,7 @@ fn reordered_channel_still_delivers_mpi() {
     let payloads: Vec<Vec<u8>> = (0..20).map(|i| vec![i as u8; 100 + i * 731]).collect();
     let reference = reference_checksums(&payloads);
     let mut cfg = WorldConfig::two_nodes("mpi_i".parse().unwrap(), 6);
-    cfg.faults = Some(FaultConfig { duplicate_prob: 0.0, reorder_prob: 0.5 });
+    cfg.faults = Some(FaultConfig { reorder_prob: 0.5, ..FaultConfig::default() });
     let d = send_all(cfg, payloads);
     assert_eq!(d.delivered, 20, "messages lost under reordering");
     let mut got = d.checksums;
@@ -34,7 +34,7 @@ fn reordered_channel_still_delivers_lci_sendrecv() {
     let reference = reference_checksums(&payloads);
     for name in ["lci_sr_cq_pin_i", "lci_psr_cq_pin_i"] {
         let mut cfg = WorldConfig::two_nodes(name.parse().unwrap(), 6);
-        cfg.faults = Some(FaultConfig { duplicate_prob: 0.0, reorder_prob: 0.5 });
+        cfg.faults = Some(FaultConfig { reorder_prob: 0.5, ..FaultConfig::default() });
         let d = send_all(cfg, payloads.clone());
         assert_eq!(d.delivered, 20, "{name}: messages lost under reordering");
         let mut got = d.checksums;
@@ -43,6 +43,98 @@ fn reordered_channel_still_delivers_lci_sendrecv() {
         want.sort_unstable();
         assert_eq!(got, want, "{name}: payloads corrupted under reordering");
     }
+}
+
+/// Build a fat-tree cluster world with a counting sink and return
+/// `(world, hit-counter, sink-spawner)` plumbing for the topology tests.
+mod cluster {
+    use bytes::Bytes;
+    use hpx_lci_repro::amt::action::{ActionId, ActionRegistry};
+    use hpx_lci_repro::parcelport::{build_world, World, WorldConfig};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    pub fn build(cfg: &WorldConfig) -> (World, Rc<Cell<usize>>, ActionId) {
+        let mut registry = ActionRegistry::new();
+        let got = Rc::new(Cell::new(0usize));
+        let g = got.clone();
+        registry.register("sink", move |sim, _l, _c, _p| {
+            g.set(g.get() + 1);
+            sim.now() + 100
+        });
+        let sink = registry.id_of("sink").unwrap();
+        let world = build_world(cfg, registry);
+        (world, got, sink)
+    }
+
+    pub fn blast(world: &mut World, src: usize, dst: usize, sink: ActionId, n: usize) {
+        for _ in 0..n {
+            let loc = world.locality(src).clone();
+            loc.spawn(
+                &mut world.sim,
+                0,
+                Box::new(move |sim, loc, core| {
+                    loc.send_action(sim, core, dst, sink, vec![Bytes::from_static(b"parcel")])
+                }),
+            );
+        }
+    }
+}
+
+#[test]
+fn fat_tree_link_failure_reroutes_and_delivers() {
+    // Kill a link on the hot route mid-run: the static tables must
+    // recompute, every parcel posted after the failure must still arrive
+    // (over the surviving path diversity), and the dead port must be
+    // observable — frozen xmit counters plus a bumped LinkDowned.
+    let cfg = WorldConfig::cluster("lci_psr_cq_pin_i".parse().unwrap(), 8, 4);
+    let (mut world, got, sink) = cluster::build(&cfg);
+
+    // Batch 1: localities 0 and 7 sit in different pods — 5-hop routes.
+    cluster::blast(&mut world, 0, 7, sink, 10);
+    let g = got.clone();
+    assert!(world.run_while(10_000_000_000, move |_| g.get() < 10), "batch 1 lost parcels");
+
+    // Kill the first up-link of the 0 -> 7 route (both directions).
+    let (victim, before, old_route) = {
+        let fab = world.fabric.borrow();
+        let topo = fab.topology().expect("cluster runs on a switched fabric");
+        let route = topo.route_ports(0, 7);
+        let victim = route[0];
+        (victim, topo.port_counters(victim.0, victim.1), route)
+    };
+    assert!(before.xmit_pkts > 0, "victim must sit on the hot route");
+    assert!(world.fabric.borrow_mut().fail_link(victim.0, victim.1), "kill must take effect");
+
+    // Batch 2: rerouted traffic must still arrive.
+    cluster::blast(&mut world, 0, 7, sink, 10);
+    let g = got.clone();
+    assert!(world.run_while(10_000_000_000, move |_| g.get() < 20), "batch 2 lost parcels");
+
+    let fab = world.fabric.borrow();
+    let topo = fab.topology().unwrap();
+    let after = topo.port_counters(victim.0, victim.1);
+    assert_eq!(after.xmit_pkts, before.xmit_pkts, "dead port must stop transmitting");
+    assert_eq!(after.link_downed, 1, "LinkDowned error counter must record the failure");
+    assert_ne!(topo.route_ports(0, 7), old_route, "route must avoid the dead link");
+}
+
+#[test]
+fn per_link_drop_faults_retransmit_but_deliver() {
+    // Per-link loss on a multi-hop fat-tree route: every hop rolls
+    // independently and recovers via link-level retransmit, so delivery
+    // stays reliable while the retry counters record the flakiness.
+    let mut cfg = WorldConfig::cluster("lci_psr_cq_pin_i".parse().unwrap(), 8, 4);
+    cfg.faults = Some(FaultConfig { drop_prob: 0.3, ..FaultConfig::default() });
+    let (mut world, got, sink) = cluster::build(&cfg);
+    cluster::blast(&mut world, 0, 7, sink, 25);
+    let g = got.clone();
+    assert!(world.run_while(20_000_000_000, move |_| g.get() < 25), "drops must not lose parcels");
+    let fab = world.fabric.borrow();
+    let topo = fab.topology().unwrap();
+    let retries: u64 = topo.ranked_ports().iter().map(|r| r.1.retries).sum();
+    assert!(retries > 0, "30% per-link loss must trigger link-level retransmits");
+    assert!(world.sim.stats.get("net.retransmitted") > 0);
 }
 
 #[test]
