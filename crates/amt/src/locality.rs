@@ -520,8 +520,8 @@ impl Locality {
         on_sent: Option<OnSent>,
     ) -> SimTime {
         let pp = self.parcelport.borrow().clone().expect("no parcelport installed");
-        telemetry::counter_add("amt.messages_put", 1);
-        telemetry::hist_record("amt.msg_bytes", msg.total_bytes() as u64);
+        telemetry::counter_add_at("amt.messages_put", 1, at.max(sim.now()));
+        telemetry::hist_record_at("amt.msg_bytes", msg.total_bytes() as u64, at.max(sim.now()));
         let t = pp.borrow_mut().put_message(sim, core, at, dest, msg, on_sent);
         sim.stats.bump("amt.messages_put");
         t
@@ -541,7 +541,7 @@ impl Locality {
     ) {
         sim.stats.bump("amt.messages_delivered");
         let _ = src;
-        telemetry::counter_add("amt.messages_delivered", 1);
+        telemetry::counter_add_at("amt.messages_delivered", 1, at.max(sim.now()));
         telemetry::flow_mark_many(&msg.flows, telemetry::stage::DELIVER, at.max(sim.now()));
         // Counter track of cumulative deliveries (all localities share the
         // thread-local collector, so one track covers the world). The

@@ -152,7 +152,7 @@ impl ParcelLayer {
             { loc.with_layer(|l| (l.cfg.send_immediate, l.cfg.zero_copy_threshold)) };
 
         let flow = telemetry::flow_begin(loc.id, dest, core, sim.now());
-        telemetry::counter_add("amt.parcels_put", 1);
+        telemetry::counter_add_at("amt.parcels_put", 1, sim.now());
 
         if immediate {
             // Serialize directly and hand to the parcelport: no queue, no

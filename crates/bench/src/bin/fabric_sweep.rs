@@ -25,7 +25,8 @@
 //! Exit code 1 if any sweep fails to show a measurable knee or the
 //! contention report fails to attribute it to a switch port.
 
-use bench::trace::{instrumented, TraceArgs, TraceSink};
+use bench::cli::{instrumented_for, TraceArgs};
+use bench::trace::TraceSink;
 use bench::{bench_scale, fmt_rate};
 use bytes::Bytes;
 use netsim::{Fabric, Packet, RoutingPolicy, Topology, WireModel};
@@ -113,6 +114,11 @@ fn run_load(
             };
             let out = fabric.send(&mut sim, 0, SimTime::from_nanos(at), pkt);
             hist.record(out.deliver_at.as_nanos() - at);
+            telemetry::hist_record_at(
+                "fabric.delivery_ns",
+                out.deliver_at.as_nanos() - at,
+                out.deliver_at,
+            );
             first_inject = first_inject.min(at);
             last_deliver = last_deliver.max(out.deliver_at.as_nanos());
             sent += 1;
@@ -162,6 +168,7 @@ fn run_sweep(
     hosts: usize,
     msgs_per_node: usize,
     seed: u64,
+    targs: &TraceArgs,
     sink: &mut TraceSink,
     nominate_trace: bool,
 ) -> SweepDoc {
@@ -221,8 +228,9 @@ fn run_sweep(
     // the queueing to named switch ports, and the nominated run writes
     // the Chrome trace with per-port counter tracks.
     let config = format!("fabric-{label}-{hosts}-hotspot");
-    let (r, tel) =
-        instrumented(|| run_load(topology, hosts, HOTSPOT_RATE, msgs_per_node, true, seed + 97));
+    let (r, tel) = instrumented_for(targs, || {
+        run_load(topology, hosts, HOTSPOT_RATE, msgs_per_node, true, seed + 97)
+    });
     sink.emit(&tel, &config, nominate_trace);
     let report = tel.contention_report(&config);
     let knee_port = report
@@ -294,7 +302,8 @@ fn main() {
     let mut first = true;
     for &hosts in &scales {
         for topology in [Topology::fat_tree_for(hosts), Topology::dragonfly_for(hosts)] {
-            let doc = run_sweep(&topology, hosts, msgs_per_node, 0xFAB5_0001, &mut sink, first);
+            let doc =
+                run_sweep(&topology, hosts, msgs_per_node, 0xFAB5_0001, &targs, &mut sink, first);
             first = false;
             if !doc.has_knee {
                 eprintln!("FAIL: {} x {hosts} shows no congestion knee", topology.label());

@@ -7,8 +7,9 @@
 //! `ucp_progress` lock inside `MPI_Test`).
 
 use bench::bench_scale;
+use bench::cli::{dispatch, instrumented_for, TraceArgs};
 use bench::report::Table;
-use bench::trace::{instrumented, TraceArgs, TraceSink};
+use bench::trace::TraceSink;
 use bench::{whatif_json, whatif_sweep, whatif_text};
 use octotiger_mini::{run_octotiger, OctoParams};
 
@@ -26,7 +27,7 @@ fn instrumented_pass(targs: &TraceArgs, scale: f64, configs: &[&str]) {
         if targs.wants_reports() { configs.to_vec() } else { vec![TRACE_CONFIG] };
     println!("instrumented pass: 2 nodes, telemetry enabled");
     for c in &traced {
-        let (r, tel) = instrumented(|| {
+        let (r, tel) = instrumented_for(targs, || {
             let mut p = OctoParams::expanse(c.parse().unwrap(), 2);
             p.level = 4;
             p.steps = if scale < 1.0 { 2 } else { 3 };
@@ -72,13 +73,11 @@ fn main() {
     let nodes = [2usize, 4, 8, 16, 32];
     let configs = ["mpi", "mpi_i", "lci_psr_cq_pin_i"];
     let targs = TraceArgs::parse();
-    if targs.active() {
-        if targs.whatif.is_some() {
-            whatif_pass(&targs, scale);
-        }
-        if targs.trace.is_some() || targs.wants_reports() || targs.critpath {
-            instrumented_pass(&targs, scale, &configs);
-        }
+    if dispatch(
+        &targs,
+        || whatif_pass(&targs, scale),
+        || instrumented_pass(&targs, scale, &configs),
+    ) {
         return;
     }
 

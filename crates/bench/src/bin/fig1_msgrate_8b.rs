@@ -11,8 +11,9 @@
 //! per-core virtual-time state table; `--folded` writes flamegraph
 //! input.
 
+use bench::cli::{dispatch, instrumented_for, TraceArgs};
 use bench::report::{fmt_kps, Table};
-use bench::trace::{instrumented, TraceArgs, TraceSink};
+use bench::trace::TraceSink;
 use bench::{
     bench_scale, injection_grid_8b, run_msgrate, sweep_injection, whatif_json, whatif_sweep,
     whatif_text, MsgRateParams,
@@ -28,7 +29,7 @@ fn instrumented_pass(targs: &TraceArgs, scale: f64, configs: &[&str]) {
         if targs.wants_reports() { configs.to_vec() } else { vec![TRACE_CONFIG] };
     println!("instrumented pass: unlimited injection, telemetry enabled");
     for c in &traced {
-        let (r, tel) = instrumented(|| {
+        let (r, tel) = instrumented_for(targs, || {
             let mut p = MsgRateParams::small(c.parse().unwrap());
             p.total_msgs = ((10_000f64 * scale) as usize).max(1_000);
             run_msgrate(&p)
@@ -71,13 +72,11 @@ fn main() {
     let scale = bench_scale();
     let configs = ["lci_psr_cq_pin", "lci_psr_cq_pin_i", "mpi", "mpi_i"];
     let targs = TraceArgs::parse();
-    if targs.active() {
-        if targs.whatif.is_some() {
-            whatif_pass(&targs, scale);
-        }
-        if targs.trace.is_some() || targs.wants_reports() || targs.critpath {
-            instrumented_pass(&targs, scale, &configs);
-        }
+    if dispatch(
+        &targs,
+        || whatif_pass(&targs, scale),
+        || instrumented_pass(&targs, scale, &configs),
+    ) {
         return;
     }
     println!("Figure 1: achieved message rate (K/s), 8B messages, batch 100");

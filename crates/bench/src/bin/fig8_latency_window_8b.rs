@@ -20,8 +20,9 @@
 //! attribution of the window-64 MPI-vs-LCI gap, writing
 //! `BENCH_whatif.json`.
 
+use bench::cli::{dispatch, instrumented_for, TraceArgs};
 use bench::report::{fmt_us, Table};
-use bench::trace::{instrumented, TraceArgs, TraceSink};
+use bench::trace::TraceSink;
 use bench::{
     bench_scale, five_mechanism_attribution, run_latency, whatif_json, whatif_latency, whatif_text,
     LatencyParams,
@@ -40,7 +41,7 @@ fn instrumented_pass(targs: &TraceArgs, scale: f64) {
     };
     println!("instrumented pass: window 64, telemetry enabled");
     for cfg in traced {
-        let (r, tel) = instrumented(|| {
+        let (r, tel) = instrumented_for(targs, || {
             let mut p = LatencyParams::new(cfg, 8);
             p.window = 64;
             p.steps = ((100f64 * scale) as usize).max(25);
@@ -74,13 +75,7 @@ fn main() {
     let scale = bench_scale();
     let windows = [1usize, 2, 4, 8, 16, 32, 64];
     let targs = TraceArgs::parse();
-    if targs.active() {
-        if targs.whatif.is_some() {
-            whatif_pass(&targs, scale);
-        }
-        if targs.trace.is_some() || targs.wants_reports() || targs.critpath {
-            instrumented_pass(&targs, scale);
-        }
+    if dispatch(&targs, || whatif_pass(&targs, scale), || instrumented_pass(&targs, scale)) {
         return;
     }
     println!("Figure 8: one-way latency (us) of 8B messages vs window size");

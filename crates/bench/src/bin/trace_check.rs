@@ -15,9 +15,18 @@
 //! zero, and their durations sum to the `critpath.total_us` counter —
 //! the same partition identity the analyzer asserts internally.
 //!
+//! `--require-timeline FILE` instead validates a windowed-timeline JSON
+//! document produced by `--timeline`: windows are non-empty, strictly
+//! consecutive from index 0, and gap-free (`start_ns == index *
+//! window_ns`, `end_ns == start_ns + window_ns`); per-window quantiles
+//! are ordered; every histogram's per-window counts/sums/mins/maxes
+//! merge exactly to the run totals; every counter's per-window deltas
+//! sum to the run total; alerts land inside the covered horizon.
+//!
 //! Usage:
 //!   `trace_check FILE [--require-flows] [--require-counters] [--require-critpath]`
 //!   `trace_check --folded FILE`
+//!   `trace_check --require-timeline FILE`
 
 use telemetry::json::{parse, Value};
 
@@ -27,6 +36,7 @@ fn main() {
     let mut require_counters = false;
     let mut require_critpath = false;
     let mut folded = false;
+    let mut timeline = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -37,18 +47,25 @@ fn main() {
                 folded = true;
                 path = Some(it.next().unwrap_or_else(|| die("--folded needs a file path")));
             }
+            "--require-timeline" => {
+                timeline = true;
+                path =
+                    Some(it.next().unwrap_or_else(|| die("--require-timeline needs a file path")));
+            }
             other if path.is_none() => path = Some(other.to_string()),
             other => die(&format!("unexpected argument {other:?}")),
         }
     }
     let path = path.unwrap_or_else(|| {
         die("usage: trace_check FILE [--require-flows] [--require-counters] \
-             [--require-critpath] | --folded FILE");
+             [--require-critpath] | --folded FILE | --require-timeline FILE");
     });
     let src =
         std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
     let result = if folded {
         validate_folded(&src)
+    } else if timeline {
+        validate_timeline(&src)
     } else {
         validate(&src, require_flows, require_counters, require_critpath)
     };
@@ -249,4 +266,138 @@ fn validate_folded(src: &str) -> Result<String, String> {
         return Err("no stacks (empty folded file)".into());
     }
     Ok(format!("{lines} stacks, total weight {total}, max depth {max_depth}"))
+}
+
+/// The fields of an object value; absent or non-object yields the empty
+/// slice (timeline windows omit empty sections).
+fn obj_fields(v: Option<&Value>) -> &[(String, Value)] {
+    match v {
+        Some(Value::Obj(fields)) => fields,
+        _ => &[],
+    }
+}
+
+/// Validate a windowed-timeline JSON document (see `--require-timeline`
+/// in the module docs): monotone gap-free window coverage, ordered
+/// per-window quantiles, and the merge identity — per-window histogram
+/// and counter series recombine exactly to the run totals.
+fn validate_timeline(src: &str) -> Result<String, String> {
+    use std::collections::BTreeMap;
+    let doc = parse(src)?;
+    let tl = doc.get("timeline").ok_or("no top-level \"timeline\" object")?;
+    let field = |v: &Value, key: &str, what: &str| -> Result<f64, String> {
+        v.get(key).and_then(Value::as_f64).ok_or_else(|| format!("{what}: missing {key:?}"))
+    };
+    let window_ns = field(tl, "window_ns", "timeline")?;
+    if window_ns <= 0.0 || window_ns.fract() != 0.0 {
+        return Err(format!("bad window_ns {window_ns}"));
+    }
+    let windows = tl.get("windows").and_then(Value::as_arr).ok_or("missing windows array")?;
+    if windows.is_empty() {
+        return Err("no windows".into());
+    }
+    // Per-key (count, sum, min, max) accumulated across windows, to hold
+    // against the run totals; counters accumulate per-window deltas.
+    let mut hist_acc: BTreeMap<&str, (f64, f64, f64, f64)> = BTreeMap::new();
+    let mut counter_acc: BTreeMap<&str, f64> = BTreeMap::new();
+    for (i, w) in windows.iter().enumerate() {
+        let what = format!("window {i}");
+        if field(w, "index", &what)? != i as f64 {
+            return Err(format!("{what}: indices must be consecutive from 0"));
+        }
+        let start = field(w, "start_ns", &what)?;
+        let end = field(w, "end_ns", &what)?;
+        if start != i as f64 * window_ns || end != start + window_ns {
+            return Err(format!(
+                "{what}: covers [{start}, {end}) ns, expected [{}, {}) — gap or overlap",
+                i as f64 * window_ns,
+                (i + 1) as f64 * window_ns
+            ));
+        }
+        for (key, h) in obj_fields(w.get("hists")) {
+            let what = format!("window {i} hist {key:?}");
+            let count = field(h, "count", &what)?;
+            let sum = field(h, "sum", &what)?;
+            let min = field(h, "min", &what)?;
+            let max = field(h, "max", &what)?;
+            let (p50, p90, p99, p999) = (
+                field(h, "p50", &what)?,
+                field(h, "p90", &what)?,
+                field(h, "p99", &what)?,
+                field(h, "p999", &what)?,
+            );
+            if !(p50 <= p90 && p90 <= p99 && p99 <= p999) {
+                return Err(format!("{what}: quantiles out of order"));
+            }
+            if count > 0.0 && !(min <= p50 && p999 <= max) {
+                return Err(format!("{what}: quantiles escape [min, max]"));
+            }
+            let e = hist_acc.entry(key).or_insert((0.0, 0.0, f64::INFINITY, f64::NEG_INFINITY));
+            e.0 += count;
+            e.1 += sum;
+            if count > 0.0 {
+                e.2 = e.2.min(min);
+                e.3 = e.3.max(max);
+            }
+        }
+        for (key, v) in obj_fields(w.get("counters")) {
+            let delta = v.as_f64().ok_or_else(|| format!("{what}: bad counter {key:?}"))?;
+            *counter_acc.entry(key).or_insert(0.0) += delta;
+        }
+    }
+    let totals = tl.get("totals").ok_or("missing totals object")?;
+    let total_hists = obj_fields(totals.get("hists"));
+    if total_hists.len() != hist_acc.len() {
+        return Err(format!(
+            "windows cover {} histogram keys but totals list {}",
+            hist_acc.len(),
+            total_hists.len()
+        ));
+    }
+    for (key, h) in total_hists {
+        let what = format!("totals hist {key:?}");
+        let &(count, sum, min, max) =
+            hist_acc.get(key.as_str()).ok_or_else(|| format!("{what}: in no window"))?;
+        if field(h, "count", &what)? != count || field(h, "sum", &what)? != sum {
+            return Err(format!("{what}: window counts/sums do not merge to the total"));
+        }
+        if count > 0.0 && (field(h, "min", &what)? != min || field(h, "max", &what)? != max) {
+            return Err(format!("{what}: window min/max do not merge to the total"));
+        }
+    }
+    let total_counters = obj_fields(totals.get("counters"));
+    if total_counters.len() != counter_acc.len() {
+        return Err(format!(
+            "windows cover {} counters but totals list {}",
+            counter_acc.len(),
+            total_counters.len()
+        ));
+    }
+    for (key, v) in total_counters {
+        let total = v.as_f64().ok_or_else(|| format!("totals counter {key:?}: bad value"))?;
+        if counter_acc.get(key.as_str()) != Some(&total) {
+            return Err(format!("totals counter {key:?}: window deltas do not sum to {total}"));
+        }
+    }
+    let alerts = tl.get("alerts").and_then(Value::as_arr).unwrap_or(&[]);
+    for (i, a) in alerts.iter().enumerate() {
+        let what = format!("alert {i}");
+        let w = field(a, "window", &what)?;
+        if w >= windows.len() as f64 {
+            return Err(format!("{what}: window {w} outside the covered horizon"));
+        }
+        if field(a, "end_ns", &what)? != (w + 1.0) * window_ns {
+            return Err(format!("{what}: end_ns disagrees with its window"));
+        }
+    }
+    let dumps = tl.get("dumps").and_then(Value::as_arr).map(<[Value]>::len).unwrap_or(0);
+    Ok(format!(
+        "{} windows x {} ns, {} histograms and {} counters merge to totals, \
+         {} alerts, {dumps} dumps",
+        windows.len(),
+        window_ns,
+        hist_acc.len(),
+        counter_acc.len(),
+        alerts.len()
+    ))
 }

@@ -1,0 +1,289 @@
+//! Shared command-line handling for the figure harnesses.
+//!
+//! Every harness (`fig1_msgrate_8b`, `fig8_latency_window_8b`,
+//! `fig10_octotiger_expanse`, `fabric_sweep`) accepts the same
+//! observability flags, parsed here exactly once — unknown flags are a
+//! hard error, never silently ignored:
+//!
+//! * `--trace FILE` — combined Chrome-trace JSON of the nominated run;
+//! * `--breakdown` — per-stage latency breakdown + contention report;
+//! * `--json FILE` — machine-readable reports;
+//! * `--profile` — per-core virtual-time state table + sparklines;
+//! * `--folded FILE` — folded stacks for `inferno` / `flamegraph.pl`;
+//! * `--critpath` — causal critical-path report (highlighted in
+//!   `--trace` output);
+//! * `--whatif KNOBS` — predicted-vs-measured speedup sweep;
+//! * `--timeline FILE` — windowed timeline document (JSON) of the
+//!   nominated run, plus `FILE.om` (OpenMetrics-style text exposition)
+//!   and `FILE.dumpN.json` for any flight-recorder dumps;
+//! * `--slo` — install the default latency-objective burn-rate rules and
+//!   print any alerts;
+//! * `--window-us N` — timeline window width (default 100 µs).
+//!
+//! [`dispatch`] owns the shared "instrumented pass instead of the full
+//! sweep" branching the binaries used to duplicate.
+
+use std::rc::Rc;
+
+use telemetry::{SloRule, Telemetry, TimelineConfig};
+
+/// Parsed observability flags.
+#[derive(Debug, Default, Clone)]
+pub struct TraceArgs {
+    /// Chrome-trace output path (`--trace FILE`).
+    pub trace: Option<String>,
+    /// Print text breakdown + contention reports (`--breakdown`).
+    pub breakdown: bool,
+    /// Machine-readable report path (`--json FILE`).
+    pub json: Option<String>,
+    /// Print the per-core virtual-time profile (`--profile`).
+    pub profile: bool,
+    /// Folded-stack (flamegraph) output path (`--folded FILE`).
+    pub folded: Option<String>,
+    /// Print critical-path reports; highlight the path in `--trace`
+    /// output (`--critpath`).
+    pub critpath: bool,
+    /// What-if knob sweep spec (`--whatif KNOBS`, `all` = default sweep).
+    pub whatif: Option<String>,
+    /// Windowed-timeline document path (`--timeline FILE`).
+    pub timeline: Option<String>,
+    /// Install the default SLO rules and print alerts (`--slo`).
+    pub slo: bool,
+    /// Timeline window width in µs (`--window-us N`).
+    pub window_us: Option<u64>,
+}
+
+fn usage(offender: &str) -> ! {
+    eprintln!(
+        "unknown argument {offender:?} \
+         (supported: --trace FILE, --breakdown, --json FILE, --profile, \
+         --folded FILE, --critpath, --whatif KNOBS, --timeline FILE, \
+         --slo, --window-us N)"
+    );
+    std::process::exit(2);
+}
+
+impl TraceArgs {
+    /// Parse the harness command line; exits with a usage message on an
+    /// unknown argument.
+    pub fn parse() -> TraceArgs {
+        TraceArgs::parse_from(std::env::args().skip(1))
+    }
+
+    /// [`TraceArgs::parse`] over an explicit argument list.
+    pub fn parse_from(args: impl IntoIterator<Item = String>) -> TraceArgs {
+        let mut out = TraceArgs::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--trace" => out.trace = Some(it.next().expect("--trace needs a file path")),
+                "--breakdown" => out.breakdown = true,
+                "--json" => out.json = Some(it.next().expect("--json needs a file path")),
+                "--profile" => out.profile = true,
+                "--folded" => out.folded = Some(it.next().expect("--folded needs a file path")),
+                "--critpath" => out.critpath = true,
+                "--whatif" => out.whatif = Some(it.next().expect("--whatif needs a knob list")),
+                "--timeline" => {
+                    out.timeline = Some(it.next().expect("--timeline needs a file path"))
+                }
+                "--slo" => out.slo = true,
+                "--window-us" => {
+                    let v = it.next().expect("--window-us needs a width in microseconds");
+                    out.window_us =
+                        Some(v.parse().expect("--window-us width must be a positive integer"));
+                }
+                other => usage(other),
+            }
+        }
+        out
+    }
+
+    /// Whether an instrumented pass was requested.
+    pub fn active(&self) -> bool {
+        self.trace.is_some()
+            || self.breakdown
+            || self.json.is_some()
+            || self.profile
+            || self.folded.is_some()
+            || self.critpath
+            || self.whatif.is_some()
+            || self.timeline_active()
+    }
+
+    /// Whether per-config reports (rather than just one Chrome trace)
+    /// were requested — decides how many configs the pass covers.
+    pub fn wants_reports(&self) -> bool {
+        self.breakdown || self.json.is_some() || self.profile || self.folded.is_some()
+    }
+
+    /// Whether the windowed timeline was requested.
+    pub fn timeline_active(&self) -> bool {
+        self.timeline.is_some() || self.slo || self.window_us.is_some()
+    }
+
+    /// The timeline configuration implied by the flags; `None` when no
+    /// timeline flag is present.
+    pub fn timeline_config(&self) -> Option<TimelineConfig> {
+        if !self.timeline_active() {
+            return None;
+        }
+        let mut cfg = TimelineConfig::default();
+        if let Some(us) = self.window_us {
+            cfg.window_ns = us.max(1) * 1_000;
+        }
+        if self.slo {
+            cfg.slos = default_slo_rules();
+        }
+        Some(cfg)
+    }
+
+    /// The parsed `--whatif` knob list; exits with a usage message on an
+    /// unknown knob spec.
+    pub fn whatif_knobs(&self) -> Option<Vec<crate::whatif::Knob>> {
+        use crate::whatif::Knob;
+        let spec = self.whatif.as_deref()?;
+        if spec == "all" {
+            return Some(vec![
+                Knob::SerializeScale(0.0),
+                Knob::WireLatencyScale(2.0),
+                Knob::WireLatencyScale(0.5),
+                Knob::WireBandwidthScale(2.0),
+                Knob::LockHoldScale(0.0),
+                Knob::TagMatchOff,
+                Knob::ProgressPerOpOff,
+                Knob::PollSkewOff,
+                Knob::SendImmediate,
+            ]);
+        }
+        Some(
+            spec.split(',')
+                .map(|s| {
+                    Knob::parse(s.trim()).unwrap_or_else(|| {
+                        eprintln!(
+                            "unknown --whatif knob {s:?} (supported: serialize_xK, \
+                             wire_latency_xK, wire_bw_xK, lock_hold_xK, tag_match_off, \
+                             cq_per_op_off, poll_skew_off, send_immediate, all)"
+                        );
+                        std::process::exit(2);
+                    })
+                })
+                .collect(),
+        )
+    }
+}
+
+/// The default `--slo` rules: end-to-end parcel latency and raw fabric
+/// delivery latency, both at a 99% objective with a burn-rate threshold
+/// of 1 (any window spending its error budget faster than allowed
+/// alerts).
+pub fn default_slo_rules() -> Vec<SloRule> {
+    vec![
+        SloRule {
+            name: "parcel-latency".into(),
+            hist: "parcel.latency_ns".into(),
+            objective_ns: 50_000,
+            target: 0.99,
+            burn_threshold: 1.0,
+            min_samples: 16,
+        },
+        SloRule {
+            name: "fabric-delivery".into(),
+            hist: "fabric.delivery_ns".into(),
+            objective_ns: 20_000,
+            target: 0.99,
+            burn_threshold: 1.0,
+            min_samples: 16,
+        },
+    ]
+}
+
+/// Run `f` under a fresh telemetry collector configured per `args`
+/// (windowed timeline attached when any timeline flag is present) and
+/// return its result plus the collector.
+pub fn instrumented_for<R>(args: &TraceArgs, f: impl FnOnce() -> R) -> (R, Rc<Telemetry>) {
+    let tel = match args.timeline_config() {
+        Some(cfg) => telemetry::enable_with(cfg),
+        None => telemetry::enable(),
+    };
+    let r = f();
+    telemetry::disable();
+    (r, tel)
+}
+
+/// The shared harness dispatch: when any observability flag is present,
+/// run the what-if pass (if `--whatif`) and/or the instrumented pass and
+/// return `true` — the binary should then skip its full figure sweep.
+/// Returns `false` when no flag was given.
+pub fn dispatch(
+    args: &TraceArgs,
+    whatif_pass: impl FnOnce(),
+    instrumented_pass: impl FnOnce(),
+) -> bool {
+    if !args.active() {
+        return false;
+    }
+    if args.whatif.is_some() {
+        whatif_pass();
+    }
+    if args.trace.is_some() || args.wants_reports() || args.critpath || args.timeline_active() {
+        instrumented_pass();
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> TraceArgs {
+        TraceArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = parse(&[
+            "--trace",
+            "t.json",
+            "--breakdown",
+            "--json",
+            "r.json",
+            "--profile",
+            "--folded",
+            "f.txt",
+            "--critpath",
+            "--whatif",
+            "all",
+            "--timeline",
+            "tl.json",
+            "--slo",
+            "--window-us",
+            "250",
+        ]);
+        assert_eq!(a.trace.as_deref(), Some("t.json"));
+        assert!(a.breakdown && a.profile && a.critpath && a.slo);
+        assert_eq!(a.timeline.as_deref(), Some("tl.json"));
+        assert_eq!(a.window_us, Some(250));
+        assert!(a.active() && a.wants_reports() && a.timeline_active());
+        let cfg = a.timeline_config().unwrap();
+        assert_eq!(cfg.window_ns, 250_000);
+        assert_eq!(cfg.slos.len(), 2);
+    }
+
+    #[test]
+    fn timeline_flags_activate_the_pass() {
+        let a = parse(&["--slo"]);
+        assert!(a.active() && a.timeline_active() && !a.wants_reports());
+        let cfg = a.timeline_config().unwrap();
+        assert_eq!(cfg.window_ns, telemetry::timeline::DEFAULT_WINDOW_NS);
+        assert!(!cfg.slos.is_empty());
+        let b = parse(&["--breakdown"]);
+        assert!(b.timeline_config().is_none());
+    }
+
+    #[test]
+    fn empty_args_are_inactive() {
+        let a = parse(&[]);
+        assert!(!a.active() && !a.timeline_active());
+        assert!(a.timeline_config().is_none());
+    }
+}

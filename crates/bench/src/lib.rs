@@ -18,6 +18,7 @@
 //! Binaries under `src/bin/` print one figure each, in the same
 //! rows/series layout the paper plots.
 
+pub mod cli;
 pub mod latency;
 pub mod msgrate;
 pub mod report;

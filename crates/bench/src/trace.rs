@@ -1,138 +1,20 @@
-//! `--trace` / `--breakdown` support shared by the figure harnesses.
+//! Observability report plumbing shared by the figure harnesses.
 //!
-//! Flags understood by the instrumented harnesses (`fig1_msgrate_8b`,
-//! `fig8_latency_window_8b`, `fig10_octotiger_expanse`):
-//!
-//! * `--trace FILE` — write a combined Chrome-trace JSON (core spans +
-//!   parcel flow arrows + counter tracks) of one instrumented run; load
-//!   it at <https://ui.perfetto.dev> or `chrome://tracing`.
-//! * `--breakdown` — print the per-stage latency breakdown and the
-//!   contention attribution ("top resources by wait time") of every
-//!   instrumented configuration.
-//! * `--json FILE` — write the same reports machine-readable.
-//! * `--profile` — print the virtual-time core profile: a ranked
-//!   per-core state table (working / progress / lock-wait / serialize /
-//!   idle shares) plus counter-track sparklines (run queues, in-flight
-//!   parcels, link busy time).
-//! * `--folded FILE` — write folded stacks (`config;core;state;leaf N`
-//!   lines) for `inferno` / `flamegraph.pl`.
-//! * `--critpath` — print the causal critical-path report (per-component
-//!   on-path time vs slack) of every instrumented configuration; with
-//!   `--trace` the Chrome trace gets a highlighted critical-path track
-//!   and on-path parcel flows are renamed `parcel (critical)`.
-//! * `--whatif KNOBS` — run the what-if engine: a comma-separated knob
-//!   list (e.g. `serialize_x0,wire_latency_x2,lock_hold_x0.5`, or `all`
-//!   for the default sweep) is dialed into deterministic re-runs and
-//!   predicted-vs-measured speedups are reported (see [`crate::whatif`]).
+//! The flags themselves are parsed by [`crate::cli`] (one shared parser;
+//! unknown flags are a hard error) — this module owns what happens with
+//! an instrumented run once it finishes: [`TraceSink`] renders the text
+//! reports, writes the Chrome trace / JSON / folded-stack / timeline
+//! files, and prints SLO alerts and flight-recorder dump locations.
 //!
 //! When any flag is present the harness runs a reduced *instrumented
 //! pass* instead of the full figure sweep: telemetry accumulates per
 //! collector, so each traced configuration gets a fresh one (see
-//! [`instrumented`]).
+//! [`instrumented`] / [`crate::cli::instrumented_for`]).
 
 use std::rc::Rc;
 
+pub use crate::cli::TraceArgs;
 use telemetry::Telemetry;
-
-/// Parsed observability flags.
-#[derive(Debug, Default, Clone)]
-pub struct TraceArgs {
-    /// Chrome-trace output path (`--trace FILE`).
-    pub trace: Option<String>,
-    /// Print text breakdown + contention reports (`--breakdown`).
-    pub breakdown: bool,
-    /// Machine-readable report path (`--json FILE`).
-    pub json: Option<String>,
-    /// Print the per-core virtual-time profile (`--profile`).
-    pub profile: bool,
-    /// Folded-stack (flamegraph) output path (`--folded FILE`).
-    pub folded: Option<String>,
-    /// Print critical-path reports; highlight the path in `--trace`
-    /// output (`--critpath`).
-    pub critpath: bool,
-    /// What-if knob sweep spec (`--whatif KNOBS`, `all` = default sweep).
-    pub whatif: Option<String>,
-}
-
-impl TraceArgs {
-    /// Parse the harness command line; exits with a usage message on an
-    /// unknown argument.
-    pub fn parse() -> TraceArgs {
-        let mut out = TraceArgs::default();
-        let mut it = std::env::args().skip(1);
-        while let Some(a) = it.next() {
-            match a.as_str() {
-                "--trace" => out.trace = Some(it.next().expect("--trace needs a file path")),
-                "--breakdown" => out.breakdown = true,
-                "--json" => out.json = Some(it.next().expect("--json needs a file path")),
-                "--profile" => out.profile = true,
-                "--folded" => out.folded = Some(it.next().expect("--folded needs a file path")),
-                "--critpath" => out.critpath = true,
-                "--whatif" => out.whatif = Some(it.next().expect("--whatif needs a knob list")),
-                other => {
-                    eprintln!(
-                        "unknown argument {other:?} \
-                         (supported: --trace FILE, --breakdown, --json FILE, \
-                         --profile, --folded FILE, --critpath, --whatif KNOBS)"
-                    );
-                    std::process::exit(2);
-                }
-            }
-        }
-        out
-    }
-
-    /// Whether an instrumented pass was requested.
-    pub fn active(&self) -> bool {
-        self.trace.is_some()
-            || self.breakdown
-            || self.json.is_some()
-            || self.profile
-            || self.folded.is_some()
-            || self.critpath
-            || self.whatif.is_some()
-    }
-
-    /// Whether per-config reports (rather than just one Chrome trace)
-    /// were requested — decides how many configs the pass covers.
-    pub fn wants_reports(&self) -> bool {
-        self.breakdown || self.json.is_some() || self.profile || self.folded.is_some()
-    }
-
-    /// The parsed `--whatif` knob list; exits with a usage message on an
-    /// unknown knob spec.
-    pub fn whatif_knobs(&self) -> Option<Vec<crate::whatif::Knob>> {
-        use crate::whatif::Knob;
-        let spec = self.whatif.as_deref()?;
-        if spec == "all" {
-            return Some(vec![
-                Knob::SerializeScale(0.0),
-                Knob::WireLatencyScale(2.0),
-                Knob::WireLatencyScale(0.5),
-                Knob::WireBandwidthScale(2.0),
-                Knob::LockHoldScale(0.0),
-                Knob::TagMatchOff,
-                Knob::ProgressPerOpOff,
-                Knob::PollSkewOff,
-                Knob::SendImmediate,
-            ]);
-        }
-        Some(
-            spec.split(',')
-                .map(|s| {
-                    Knob::parse(s.trim()).unwrap_or_else(|| {
-                        eprintln!(
-                            "unknown --whatif knob {s:?} (supported: serialize_xK, \
-                             wire_latency_xK, wire_bw_xK, lock_hold_xK, tag_match_off, \
-                             cq_per_op_off, poll_skew_off, send_immediate, all)"
-                        );
-                        std::process::exit(2);
-                    })
-                })
-                .collect(),
-        )
-    }
-}
 
 /// Run `f` under a fresh telemetry collector and return its result plus
 /// the collector. Worlds built inside `f` get per-locality span tracers
@@ -159,9 +41,10 @@ impl TraceSink {
         TraceSink { args: args.clone(), json_docs: Vec::new(), folded_docs: Vec::new() }
     }
 
-    /// Emit the reports of one instrumented run. The Chrome trace file is
-    /// written only when `write_trace` is set — the harness nominates one
-    /// run so `--trace` yields a single file.
+    /// Emit the reports of one instrumented run. The Chrome trace and
+    /// timeline files are written only when `write_trace` is set — the
+    /// harness nominates one run so `--trace`/`--timeline` yield a
+    /// single document each.
     pub fn emit(&mut self, tel: &Telemetry, config: &str, write_trace: bool) {
         let cp = if self.args.critpath { tel.critpath(config) } else { None };
         if let Some(cp) = &cp {
@@ -180,6 +63,9 @@ impl TraceSink {
         }
         if self.args.folded.is_some() {
             self.folded_docs.push(tel.folded_stacks(config));
+        }
+        if self.args.timeline_active() {
+            self.emit_timeline(tel, config, write_trace);
         }
         if self.args.json.is_some() {
             let critpath_field =
@@ -205,6 +91,60 @@ impl TraceSink {
                     tel.flow_count()
                 );
             }
+        }
+    }
+
+    /// Timeline reports of one instrumented run: an alert/dump summary on
+    /// stdout, plus (for the nominated run) the `--timeline FILE` JSON
+    /// document, `FILE.om` OpenMetrics exposition, and one
+    /// `FILE.dumpN.json` Chrome trace per flight-recorder dump.
+    fn emit_timeline(&self, tel: &Telemetry, config: &str, write_trace: bool) {
+        tel.timeline_finalize();
+        let (nwin, window_ns, late) = tel
+            .with_timeline(|tl| (tl.num_windows(), tl.window_ns(), tl.late_samples()))
+            .expect("timeline pass runs with a timeline-enabled collector");
+        let alerts = tel.timeline_alerts();
+        let dumps = tel.timeline_dumps();
+        println!(
+            "timeline[{config}]: {nwin} windows x {} us, {} alerts, {} dumps, {late} late samples",
+            window_ns / 1_000,
+            alerts.len(),
+            dumps.len()
+        );
+        for a in &alerts {
+            println!(
+                "  slo alert: {} window {} (ends {} us) burn {:.2} ({}/{} over objective)",
+                a.rule,
+                a.window,
+                a.end_ns / 1_000,
+                a.burn,
+                a.bad,
+                a.total
+            );
+        }
+        for d in &dumps {
+            println!(
+                "  flight dump: {} at window {} ({} records, {} causal marks)",
+                d.reason,
+                d.window,
+                d.records.len(),
+                d.marks.len()
+            );
+        }
+        if !write_trace {
+            return;
+        }
+        if let Some(path) = &self.args.timeline {
+            let doc = tel.timeline_json(config).expect("timeline document");
+            std::fs::write(path, doc).expect("write timeline file");
+            let om = tel.timeline_text(config).expect("timeline exposition");
+            std::fs::write(format!("{path}.om"), om).expect("write timeline exposition");
+            for (i, d) in dumps.iter().enumerate() {
+                let dump_path = format!("{path}.dump{i}.json");
+                std::fs::write(&dump_path, d.to_chrome_json()).expect("write flight dump");
+                println!("wrote flight-recorder dump ({}) -> {dump_path}", d.reason);
+            }
+            println!("wrote timeline of {config} ({nwin} windows) -> {path} (+ {path}.om)");
         }
     }
 

@@ -432,7 +432,7 @@ impl Device {
         match self.progress_lock.try_acquire(now, 0) {
             TryAcquire::Busy { free_at } => {
                 sim.stats.bump("lci.progress_busy");
-                telemetry::counter_add("lci.progress_busy", 1);
+                telemetry::counter_add_at("lci.progress_busy", 1, now);
                 ProgressOutcome::Busy { cpu_done: now + self.cost.atomic_op, free_at }
             }
             TryAcquire::Acquired { .. } => {
@@ -470,8 +470,8 @@ impl Device {
                 // accrued, so emit the real critical-section span here.
                 causal::mark("lci.progress", MarkKind::Hold, now, t, 0);
                 sim.stats.bump("lci.progress");
-                telemetry::counter_add("lci.progress_polls", 1);
-                telemetry::counter_add("lci.progress_handled", handled as u64);
+                telemetry::counter_add_at("lci.progress_polls", 1, t);
+                telemetry::counter_add_at("lci.progress_handled", handled as u64, t);
                 ProgressOutcome::Ran { handled, cpu_done: t, next_arrival }
             }
         }

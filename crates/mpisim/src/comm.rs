@@ -192,8 +192,8 @@ impl Comm {
         let grant = self.lock.acquire(core, start, hold);
         sim.stats.sample("mpi.lock_wait_ns", (grant.start - start) as f64);
         sim.stats.bump("mpi.isend");
-        telemetry::counter_add("mpi.isend_calls", 1);
-        telemetry::hist_record("mpi.lock_wait_ns", grant.start - start);
+        telemetry::counter_add_at("mpi.isend_calls", 1, grant.start);
+        telemetry::hist_record_at("mpi.lock_wait_ns", grant.start - start, grant.start);
         let req = if eager {
             self.fabric.borrow_mut().send(
                 sim,
@@ -253,8 +253,8 @@ impl Comm {
         let grant = self.lock.acquire(core, start, hold);
         sim.stats.sample("mpi.lock_wait_ns", (grant.start - start) as f64);
         sim.stats.bump("mpi.irecv");
-        telemetry::counter_add("mpi.irecv_calls", 1);
-        telemetry::hist_record("mpi.lock_wait_ns", grant.start - start);
+        telemetry::counter_add_at("mpi.irecv_calls", 1, grant.start);
+        telemetry::hist_record_at("mpi.lock_wait_ns", grant.start - start, grant.start);
         let req = Request::pending();
         if let Some(i) = pos {
             let m = self.unexpected.remove(i);
@@ -304,8 +304,8 @@ impl Comm {
         let grant = self.lock.acquire(core, start, hold);
         sim.stats.sample("mpi.lock_wait_ns", (grant.start - start) as f64);
         sim.stats.bump("mpi.test");
-        telemetry::counter_add("mpi.test_calls", 1);
-        telemetry::hist_record("mpi.lock_wait_ns", grant.start - start);
+        telemetry::counter_add_at("mpi.test_calls", 1, grant.start);
+        telemetry::hist_record_at("mpi.lock_wait_ns", grant.start - start, grant.start);
         (req.is_done(), grant.end)
     }
 

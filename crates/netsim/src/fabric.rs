@@ -278,6 +278,7 @@ impl Fabric {
                 // Wire-level loss: the NIC retransmits after a round trip.
                 sim.stats.bump("net.retransmitted");
                 deliver_at = deliver_at + busy + 2 * self.model.latency_ns;
+                telemetry::fault_event_at("net.retransmit", inj_start);
             }
             // Causal wire span: injection + serialization + propagation.
             // The `fixed` part is pure propagation latency (what a latency
@@ -311,6 +312,7 @@ impl Fabric {
 
         if dup {
             sim.stats.bump("net.duplicated");
+            telemetry::fault_event_at("net.duplicate", deliver_at);
             self.queues[chan].push_back(InFlight { deliver_at, pkt: pkt.clone() });
         }
         match dup_at {
@@ -326,6 +328,7 @@ impl Fabric {
             let n = q.len();
             if n >= 2 {
                 sim.stats.bump("net.reordered");
+                telemetry::fault_event_at("net.reorder", deliver_at);
                 q.swap(n - 1, n - 2);
             }
         }

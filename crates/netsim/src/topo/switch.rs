@@ -214,6 +214,7 @@ impl SwitchFabric {
                 self.ports[pflat].counters.link_downed += 1;
             }
         }
+        telemetry::fault_event("fab.link_down");
         self.dist = self.graph.compute_dist(&self.dead);
         self.table = compute_static(&self.graph, &self.dist, &self.dead);
         true
@@ -279,6 +280,11 @@ impl SwitchFabric {
                 at,
                 p.counters.xmit_wait_ns as f64 / 1e3,
             );
+            // Windowed per-port utilization/wait (no-op without a
+            // timeline). Keyed by the access instant, not the clamped
+            // sample instant: window attribution has no ordering
+            // requirement, and the true time is the useful one.
+            tel.timeline_port(p.name, t, wait, bytes);
         });
         end
     }
@@ -328,6 +334,7 @@ impl SwitchFabric {
                 retries += 1;
                 self.ports[flat].counters.retries += 1;
                 done = done + 2 * link_lat + service;
+                telemetry::fault_event_at("fab.link_retransmit", t);
             }
             if dup.is_none()
                 && faults.duplicate_prob > 0.0
@@ -337,6 +344,7 @@ impl SwitchFabric {
                 // then continues on its own.
                 let copy_done = self.port_access(flat, t, core, service, bytes);
                 let copy_t = copy_done + link_lat;
+                telemetry::fault_event_at("fab.link_duplicate", t);
                 dup = Some(match peer {
                     Peer::Host(_) => (None, copy_t),
                     Peer::Switch { sw: n, .. } => (Some(n), copy_t),

@@ -53,6 +53,13 @@ impl Tracer {
         self.spans.push(Span { track: track.into(), label, start, end });
     }
 
+    /// Record an instantaneous (zero-length) event on `track`, bypassing
+    /// the `min_span_ns` noise filter — alert/fault markers must survive
+    /// any filter setting.
+    pub fn instant(&mut self, track: impl Into<String>, label: &'static str, t: SimTime) {
+        self.spans.push(Span { track: track.into(), label, start: t, end: t });
+    }
+
     /// Number of recorded spans.
     pub fn len(&self) -> usize {
         self.spans.len()
@@ -127,6 +134,17 @@ mod tests {
         t.span("x", "big", SimTime::ZERO, SimTime::from_nanos(500));
         assert_eq!(t.len(), 1);
         assert_eq!(t.spans()[0].label, "big");
+    }
+
+    #[test]
+    fn instant_bypasses_min_span_filter() {
+        let mut t = Tracer::new();
+        t.min_span_ns = 100;
+        t.instant("slo/lat", "alert", SimTime::from_nanos(42));
+        assert_eq!(t.len(), 1);
+        let s = &t.spans()[0];
+        assert_eq!((s.start, s.end), (SimTime::from_nanos(42), SimTime::from_nanos(42)));
+        assert!(t.to_chrome_json().contains("\"dur\":0"));
     }
 
     #[test]

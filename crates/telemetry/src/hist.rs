@@ -135,6 +135,22 @@ impl Histogram {
         self.quantile(0.999)
     }
 
+    /// Number of samples in buckets entirely at or below `v` — a
+    /// bucket-granularity count of "samples ≤ v". Samples in the bucket
+    /// straddling `v` count as above it, so `count() - count_at_most(v)`
+    /// is a deterministic, slightly conservative bad-sample count for
+    /// SLO evaluation.
+    pub fn count_at_most(&self, v: u64) -> u64 {
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if bucket_upper(idx) > v {
+                break;
+            }
+            seen += c;
+        }
+        seen
+    }
+
     /// Fold `other` into `self`; equivalent to having recorded the union
     /// of both sample streams.
     pub fn merge(&mut self, other: &Histogram) {
@@ -204,6 +220,20 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, u);
+    }
+
+    #[test]
+    fn count_at_most_splits_at_bucket_bounds() {
+        let mut h = Histogram::new();
+        for v in [1u64, 5, 10, 100, 10_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count_at_most(0), 0);
+        assert_eq!(h.count_at_most(5), 2);
+        assert_eq!(h.count_at_most(10), 3);
+        assert_eq!(h.count_at_most(u64::MAX), h.count());
+        // Straddling-bucket samples count as above the threshold.
+        assert!(h.count_at_most(9_000) <= 4);
     }
 
     #[test]

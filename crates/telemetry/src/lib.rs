@@ -39,6 +39,7 @@ pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod report;
+pub mod timeline;
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -51,6 +52,7 @@ pub use hist::Histogram;
 pub use metrics::{ContentionStat, ContentionTable, Metrics, ResourceKind};
 pub use profile::{CoreProfile, CoreState, CoreTimeReport};
 pub use report::{Breakdown, ContentionReport};
+pub use timeline::{FlightDump, SloAlert, SloRule, Timeline, TimelineConfig};
 
 /// The collector: metrics + flows + contention, behind one `RefCell`.
 #[derive(Debug, Default)]
@@ -71,6 +73,63 @@ struct Inner {
     /// The causal provenance log ([`simcore::causal`]), installed by
     /// [`enable`] alongside the contention probe.
     causal: Option<Rc<CausalLog>>,
+    /// The windowed time-series layer ([`timeline`]), present only when
+    /// timelines were requested ([`enable_with`] /
+    /// [`Telemetry::enable_timeline`]).
+    timeline: Option<Timeline>,
+}
+
+impl Inner {
+    /// Feed one newly delivered flow into the windowed `parcel.latency_ns`
+    /// series (plus its run-total twin) and the flight-recorder ring.
+    /// No-op when timelines are off, so plain instrumented runs keep
+    /// their exact metric key set.
+    fn flow_delivered(&mut self, id: u64, t: SimTime) {
+        if self.timeline.is_none() || id == 0 {
+            return;
+        }
+        let Some(rec) = self.flows.flows().get((id - 1) as usize) else { return };
+        let (src, dst) = (rec.src, rec.dst);
+        let put = rec.at(stage::PUT).unwrap_or(t.as_nanos());
+        let deliver = t.as_nanos();
+        self.metrics.hist_record("parcel.latency_ns", deliver.saturating_sub(put));
+        if let Some(tl) = &mut self.timeline {
+            tl.flow_delivered(id, src, dst, put, deliver);
+        }
+    }
+
+    /// Take a flight-recorder dump if one is armed and its post-roll has
+    /// elapsed (called after anything that advances the timeline cursor).
+    fn tl_poll(&mut self) {
+        let Some(tl) = &mut self.timeline else { return };
+        if tl.dump_due() {
+            let cap = tl.dump_marks_cap();
+            let marks = self.causal.as_ref().map(|log| causal_tail(log, cap)).unwrap_or_default();
+            tl.take_dump(marks);
+        }
+    }
+}
+
+/// The last `cap` causal marks, as flight-recorder dump rows.
+fn causal_tail(log: &CausalLog, cap: usize) -> Vec<timeline::DumpMark> {
+    use simcore::causal::MarkKind;
+    log.with_data(|_, _, marks| {
+        marks
+            .iter()
+            .rev()
+            .take(cap)
+            .rev()
+            .map(|m| {
+                let kind = match m.kind {
+                    MarkKind::Wait => "wait",
+                    MarkKind::Hold => "hold",
+                    MarkKind::Work => "work",
+                    MarkKind::Wire => "wire",
+                };
+                (m.label, kind, m.start, m.end)
+            })
+            .collect()
+    })
 }
 
 impl Telemetry {
@@ -81,7 +140,38 @@ impl Telemetry {
 
     /// Add `n` to counter `key`.
     pub fn counter_add(&self, key: &'static str, n: u64) {
-        self.inner.borrow_mut().metrics.counter_add(key, n);
+        let inner = &mut *self.inner.borrow_mut();
+        inner.metrics.counter_add(key, n);
+        // Untimed updates attribute to the timeline's current window so
+        // window sums still reproduce the run total for every key.
+        if let Some(tl) = &mut inner.timeline {
+            let t = tl.cursor_ns();
+            tl.counter_at(key, n, t);
+        }
+    }
+
+    /// Add `n` to counter `key`, attributing it to instant `t` in the
+    /// windowed timeline (identical to [`Telemetry::counter_add`] when
+    /// timelines are off).
+    pub fn counter_add_at(&self, key: &'static str, n: u64, t: SimTime) {
+        let inner = &mut *self.inner.borrow_mut();
+        inner.metrics.counter_add(key, n);
+        if let Some(tl) = &mut inner.timeline {
+            tl.counter_at(key, n, t.as_nanos());
+            inner.tl_poll();
+        }
+    }
+
+    /// Record `v` into histogram `key`, attributing it to instant `t` in
+    /// the windowed timeline (identical to [`Telemetry::hist_record`]
+    /// when timelines are off).
+    pub fn hist_record_at(&self, key: &'static str, v: u64, t: SimTime) {
+        let inner = &mut *self.inner.borrow_mut();
+        inner.metrics.hist_record(key, v);
+        if let Some(tl) = &mut inner.timeline {
+            tl.hist_at(key, v, t.as_nanos());
+            inner.tl_poll();
+        }
     }
 
     /// Set gauge `key`.
@@ -91,12 +181,22 @@ impl Telemetry {
 
     /// Record into histogram `key`.
     pub fn hist_record(&self, key: &'static str, v: u64) {
-        self.inner.borrow_mut().metrics.hist_record(key, v);
+        let inner = &mut *self.inner.borrow_mut();
+        inner.metrics.hist_record(key, v);
+        if let Some(tl) = &mut inner.timeline {
+            let t = tl.cursor_ns();
+            tl.hist_at(key, v, t);
+        }
     }
 
     /// Append a counter-track sample.
     pub fn track_sample(&self, name: &str, t: SimTime, v: f64) {
-        self.inner.borrow_mut().metrics.track_sample(name, t.as_nanos(), v);
+        let inner = &mut *self.inner.borrow_mut();
+        inner.metrics.track_sample(name, t.as_nanos(), v);
+        if let Some(tl) = &mut inner.timeline {
+            tl.observe(t.as_nanos());
+            inner.tl_poll();
+        }
     }
 
     /// Start a parcel flow; returns its id (0 when the tracer is full).
@@ -108,6 +208,9 @@ impl Telemetry {
             let v = inner.in_flight as f64;
             inner.metrics.track_sample("parcels.in_flight", t.as_nanos(), v);
         }
+        if let Some(tl) = &mut inner.timeline {
+            tl.observe(t.as_nanos());
+        }
         id
     }
 
@@ -118,6 +221,11 @@ impl Telemetry {
             inner.in_flight -= 1;
             let v = inner.in_flight as f64;
             inner.metrics.track_sample("parcels.in_flight", t.as_nanos(), v);
+            inner.flow_delivered(id, t);
+        }
+        if let Some(tl) = &mut inner.timeline {
+            tl.observe(t.as_nanos());
+            inner.tl_poll();
         }
     }
 
@@ -125,11 +233,32 @@ impl Telemetry {
     pub fn flow_mark_many(&self, ids: &[u64], stage: usize, t: SimTime) {
         if !ids.is_empty() {
             let inner = &mut *self.inner.borrow_mut();
-            let newly = inner.flows.mark_many(ids, stage, t);
-            if newly > 0 && stage == stage::DELIVER {
-                inner.in_flight -= newly as i64;
-                let v = inner.in_flight as f64;
-                inner.metrics.track_sample("parcels.in_flight", t.as_nanos(), v);
+            if stage == stage::DELIVER && inner.timeline.is_some() {
+                // Per-id marking so each newly delivered parcel lands on
+                // the flight recorder and in the windowed latency series.
+                let mut newly = 0i64;
+                for &id in ids {
+                    if inner.flows.mark(id, stage, t) {
+                        newly += 1;
+                        inner.flow_delivered(id, t);
+                    }
+                }
+                if newly > 0 {
+                    inner.in_flight -= newly;
+                    let v = inner.in_flight as f64;
+                    inner.metrics.track_sample("parcels.in_flight", t.as_nanos(), v);
+                }
+            } else {
+                let newly = inner.flows.mark_many(ids, stage, t);
+                if newly > 0 && stage == stage::DELIVER {
+                    inner.in_flight -= newly as i64;
+                    let v = inner.in_flight as f64;
+                    inner.metrics.track_sample("parcels.in_flight", t.as_nanos(), v);
+                }
+            }
+            if let Some(tl) = &mut inner.timeline {
+                tl.observe(t.as_nanos());
+                inner.tl_poll();
             }
         }
     }
@@ -200,14 +329,12 @@ impl Telemetry {
         start: SimTime,
         end: SimTime,
     ) {
-        self.inner.borrow_mut().profile.record_base(
-            loc,
-            core,
-            state,
-            label,
-            start.as_nanos(),
-            end.as_nanos(),
-        );
+        let inner = &mut *self.inner.borrow_mut();
+        inner.profile.record_base(loc, core, state, label, start.as_nanos(), end.as_nanos());
+        if let Some(tl) = &mut inner.timeline {
+            tl.observe(end.as_nanos());
+            inner.tl_poll();
+        }
     }
 
     /// Record a probe-level (overlay) profiler interval on `core` of the
@@ -293,6 +420,124 @@ impl Telemetry {
         let inner = self.inner.borrow();
         chrome::chrome_trace_with_critpath(&inner.spans, inner.flows.flows(), &inner.metrics, cp)
     }
+
+    /// Attach a windowed timeline to this collector (normally done by
+    /// [`enable_with`] before the run starts).
+    pub fn enable_timeline(&self, cfg: TimelineConfig) {
+        self.inner.borrow_mut().timeline = Some(Timeline::new(cfg));
+    }
+
+    /// Whether this collector carries a timeline.
+    pub fn timeline_enabled(&self) -> bool {
+        self.inner.borrow().timeline.is_some()
+    }
+
+    /// Read access to the timeline; `None` when timelines are off.
+    pub fn with_timeline<R>(&self, f: impl FnOnce(&Timeline) -> R) -> Option<R> {
+        self.inner.borrow().timeline.as_ref().map(f)
+    }
+
+    /// Add an SLO rule mid-run (e.g. an objective derived from a baseline
+    /// phase of the same run); no-op when timelines are off.
+    pub fn timeline_add_rule(&self, rule: SloRule) {
+        if let Some(tl) = &mut self.inner.borrow_mut().timeline {
+            tl.add_rule(rule);
+        }
+    }
+
+    /// Record one egress-port access into the per-port windows; no-op
+    /// when timelines are off.
+    pub fn timeline_port(&self, name: &'static str, t: SimTime, wait_ns: u64, bytes: u64) {
+        let inner = &mut *self.inner.borrow_mut();
+        if let Some(tl) = &mut inner.timeline {
+            tl.port_at(name, t.as_nanos(), wait_ns, bytes);
+            inner.tl_poll();
+        }
+    }
+
+    /// Record an injected fault at instant `t`, arming the flight
+    /// recorder; no-op when timelines are off.
+    pub fn fault_event_at(&self, label: &'static str, t: SimTime) {
+        let inner = &mut *self.inner.borrow_mut();
+        if let Some(tl) = &mut inner.timeline {
+            tl.fault_event(label, t.as_nanos());
+            inner.tl_poll();
+        }
+    }
+
+    /// [`Telemetry::fault_event_at`] at the timeline's current cursor,
+    /// for fault sites with no virtual clock in hand.
+    pub fn fault_event(&self, label: &'static str) {
+        let inner = &mut *self.inner.borrow_mut();
+        if let Some(tl) = &mut inner.timeline {
+            let t = tl.cursor_ns();
+            tl.fault_event(label, t);
+            inner.tl_poll();
+        }
+    }
+
+    /// Close out the timeline at end of run: evaluate the remaining
+    /// windows, take any still-armed flight-recorder dump, render each
+    /// alert as a zero-duration span on its `slo/<rule>` track, and
+    /// inject the per-window counter tracks into the metrics registry so
+    /// the Chrome export grows timeline counter tracks. Idempotent; no-op
+    /// when timelines are off.
+    pub fn timeline_finalize(&self) {
+        let inner = &mut *self.inner.borrow_mut();
+        let Some(tl) = &mut inner.timeline else { return };
+        if tl.finalized() {
+            return;
+        }
+        tl.finalize();
+        inner.tl_poll();
+        let Some(tl) = &mut inner.timeline else { return };
+        for a in tl.alerts() {
+            inner.spans.push(Span {
+                track: format!("slo/{}", a.rule),
+                label: "alert",
+                start: SimTime::from_nanos(a.end_ns),
+                end: SimTime::from_nanos(a.end_ns),
+            });
+        }
+        for (name, series) in tl.counter_tracks() {
+            for (t, v) in series {
+                inner.metrics.track_sample(&name, t, v);
+            }
+        }
+    }
+
+    /// The deterministic SLO alert list (empty when timelines are off).
+    pub fn timeline_alerts(&self) -> Vec<SloAlert> {
+        self.with_timeline(|tl| tl.alerts().to_vec()).unwrap_or_default()
+    }
+
+    /// Flight-recorder dumps taken so far (empty when timelines are off).
+    pub fn timeline_dumps(&self) -> Vec<FlightDump> {
+        self.with_timeline(|tl| tl.dumps().to_vec()).unwrap_or_default()
+    }
+
+    /// The machine-readable timeline document for `config` (see
+    /// [`Timeline::to_json`]), with per-window core-state occupancy and
+    /// critical-path slices filled in from the profiler and causal log.
+    /// `None` when timelines are off.
+    pub fn timeline_json(&self, config: &str) -> Option<String> {
+        self.timeline_finalize();
+        let cp = self.critpath(config);
+        let inner = self.inner.borrow();
+        let tl = inner.timeline.as_ref()?;
+        let snap = inner.profile.snapshot();
+        let occ = (!snap.is_empty())
+            .then(|| timeline::slice_occupancy(snap.values(), tl.window_ns(), tl.num_windows()));
+        let crit = cp.map(|cp| timeline::critpath_slices(&cp, tl.window_ns(), tl.num_windows()));
+        Some(tl.to_json(config, &inner.metrics, occ.as_ref(), crit.as_deref()))
+    }
+
+    /// The OpenMetrics-style text exposition for `config`; `None` when
+    /// timelines are off.
+    pub fn timeline_text(&self, config: &str) -> Option<String> {
+        self.timeline_finalize();
+        self.with_timeline(|tl| tl.to_openmetrics(config))
+    }
 }
 
 /// Adapter feeding `simcore::probe` events into the contention table.
@@ -321,18 +566,24 @@ impl simcore::Probe for ProbeAdapter {
                 now.as_nanos() + wait_ns,
             );
         }
+        if let Some(tl) = &mut inner.timeline {
+            if contended {
+                tl.probe_event(name, "lock", now.as_nanos(), wait_ns, hold_ns);
+            } else {
+                tl.observe(now.as_nanos());
+            }
+            inner.tl_poll();
+        }
     }
 
-    fn try_lock(&self, name: &'static str, _now: SimTime, acquired: bool, hold_ns: u64) {
+    fn try_lock(&self, name: &'static str, now: SimTime, acquired: bool, hold_ns: u64) {
         // A failed try never waits — that is the point of the LCI design;
         // it only counts as a contended event.
-        self.0.inner.borrow_mut().contention.record(
-            name,
-            ResourceKind::TryLock,
-            0,
-            hold_ns,
-            !acquired,
-        );
+        let inner = &mut *self.0.inner.borrow_mut();
+        inner.contention.record(name, ResourceKind::TryLock, 0, hold_ns, !acquired);
+        if let Some(tl) = &mut inner.timeline {
+            tl.observe(now.as_nanos());
+        }
     }
 
     fn resource_access(
@@ -362,6 +613,14 @@ impl simcore::Probe for ProbeAdapter {
                 now.as_nanos() + wait_ns,
             );
         }
+        if let Some(tl) = &mut inner.timeline {
+            if wait_ns > 0 {
+                tl.probe_event(name, "resource", now.as_nanos(), wait_ns, service_ns);
+            } else {
+                tl.observe(now.as_nanos());
+            }
+            inner.tl_poll();
+        }
     }
 }
 
@@ -382,6 +641,16 @@ pub fn enable() -> Rc<Telemetry> {
     ACTIVE.with(|c| *c.borrow_mut() = Some(t.clone()));
     simcore::probe::install(Rc::new(ProbeAdapter(t.clone())));
     simcore::causal::install(log);
+    t
+}
+
+/// [`enable`], plus a windowed timeline under `cfg`: per-window
+/// histograms/counters/port accounting, SLO monitors, and the flight
+/// recorder. The timeline is pure observation like everything else —
+/// enabled runs reproduce the exact event streams of disabled runs.
+pub fn enable_with(cfg: TimelineConfig) -> Rc<Telemetry> {
+    let t = enable();
+    t.enable_timeline(cfg);
     t
 }
 
@@ -474,6 +743,33 @@ pub fn counter_add(key: &'static str, n: u64) {
 #[inline]
 pub fn hist_record(key: &'static str, v: u64) {
     with(|tel| tel.hist_record(key, v));
+}
+
+/// Add to a counter, attributed to instant `t` in the windowed timeline.
+#[inline]
+pub fn counter_add_at(key: &'static str, n: u64, t: SimTime) {
+    with(|tel| tel.counter_add_at(key, n, t));
+}
+
+/// Record into a histogram, attributed to instant `t` in the windowed
+/// timeline.
+#[inline]
+pub fn hist_record_at(key: &'static str, v: u64, t: SimTime) {
+    with(|tel| tel.hist_record_at(key, v, t));
+}
+
+/// Record an injected fault at instant `t` (arms the flight recorder);
+/// no-op when disabled or when timelines are off.
+#[inline]
+pub fn fault_event_at(label: &'static str, t: SimTime) {
+    with(|tel| tel.fault_event_at(label, t));
+}
+
+/// [`fault_event_at`] at the timeline cursor, for fault sites with no
+/// virtual clock in hand.
+#[inline]
+pub fn fault_event(label: &'static str) {
+    with(|tel| tel.fault_event(label));
 }
 
 /// Append a counter-track sample on the active collector.

@@ -120,6 +120,172 @@ fn fat_tree_link_failure_reroutes_and_delivers() {
 }
 
 #[test]
+fn link_failure_is_visible_in_the_windowed_timeline() {
+    // Chaos visibility: a mid-run link failure must be observable in the
+    // windowed timeline three ways — (a) an SLO alert in the window the
+    // latency breach occurs, (b) a flight-recorder dump carrying the
+    // rerouted parcels, (c) a p999 step in the windowed series that the
+    // run-total mean hides.
+    use bytes::Bytes;
+    use hpx_lci_repro::parcelport::World;
+    use hpx_lci_repro::telemetry::timeline::FlightRec;
+    use hpx_lci_repro::telemetry::{self, SloRule, TimelineConfig};
+
+    // A long post-roll keeps the flight recorder armed across the whole
+    // degraded batch, so the dump carries the rerouted deliveries.
+    let tel = telemetry::enable_with(TimelineConfig {
+        window_ns: 2_000,
+        post_roll_windows: 128,
+        ..TimelineConfig::default()
+    });
+    let cfg = WorldConfig::cluster("lci_psr_cq_pin_i".parse().unwrap(), 8, 4);
+    let (mut world, got, sink) = cluster::build(&cfg);
+
+    // Chunky payloads make uplink serialization a visible share of the
+    // latency, so a post-failure route collision shows as a step.
+    let data = Bytes::from(vec![0u8; 65536]);
+    let blast = |world: &mut World, src: usize, dst: usize, n: usize, data: &Bytes| {
+        for _ in 0..n {
+            let loc = world.locality(src).clone();
+            let d = data.clone();
+            loc.spawn(
+                &mut world.sim,
+                0,
+                Box::new(move |sim, loc, core| loc.send_action(sim, core, dst, sink, vec![d])),
+            );
+        }
+    };
+
+    // Two flows from the same edge switch whose static routes are
+    // port-disjoint: 0 -> 7 plus a 1 -> dst2 decoy. Killing the 0 -> 7
+    // up-link then forces both flows onto shared ports.
+    let (dst2, victim) = {
+        let fab = world.fabric.borrow();
+        let topo = fab.topology().expect("cluster runs on a switched fabric");
+        let route07 = topo.route_ports(0, 7);
+        let victim = route07[0];
+        let dst2 = (4..7)
+            .find(|&d| topo.route_ports(1, d).iter().all(|p| !route07.contains(p)))
+            .expect("the fat tree offers a port-disjoint second flow");
+        (dst2, victim)
+    };
+
+    // Batch 1 (healthy): both flows in parallel on disjoint up-links.
+    blast(&mut world, 0, 7, 15, &data);
+    blast(&mut world, 1, dst2, 15, &data);
+    let g = got.clone();
+    assert!(world.run_while(10_000_000_000, move |_| g.get() < 30), "batch 1 lost parcels");
+
+    // Objective derived from the healthy batch: the smallest latency
+    // bound that classifies every batch-1 sample as good (bucket
+    // granularity included) — any later breach is fault-induced.
+    let h1 = tel
+        .with_timeline(|tl| tl.merged_hist("parcel.latency_ns").expect("batch 1 delivered"))
+        .expect("timeline enabled");
+    let mut objective = h1.max();
+    while h1.count_at_most(objective) < h1.count() {
+        objective += (h1.max() / 8).max(1);
+    }
+    tel.timeline_add_rule(SloRule {
+        name: "reroute-lat".into(),
+        hist: "parcel.latency_ns".into(),
+        objective_ns: objective,
+        target: 0.99,
+        burn_threshold: 1.0,
+        min_samples: 1,
+    });
+
+    // Kill the hot up-link; the fault event arms the flight recorder at
+    // the current cursor instant. Then keep killing whatever up-link the
+    // reroute picks until 0 -> 7 is forced onto the decoy's up-link —
+    // the fat tree's path diversity would otherwise dodge the collision.
+    let fault_ns = tel.with_timeline(|tl| tl.cursor_ns()).expect("timeline enabled");
+    assert!(world.fabric.borrow_mut().fail_link(victim.0, victim.1), "kill must take effect");
+    let decoy_up = {
+        let fab = world.fabric.borrow();
+        fab.topology().unwrap().route_ports(1, dst2)[0]
+    };
+    for _ in 0..8 {
+        let hop = {
+            let fab = world.fabric.borrow();
+            fab.topology().unwrap().route_ports(0, 7)[0]
+        };
+        if hop == decoy_up {
+            break;
+        }
+        assert!(world.fabric.borrow_mut().fail_link(hop.0, hop.1), "kill must take effect");
+    }
+    {
+        let fab = world.fabric.borrow();
+        assert_eq!(
+            fab.topology().unwrap().route_ports(0, 7)[0],
+            decoy_up,
+            "flows must share the surviving up-link"
+        );
+    }
+
+    // Batch 2 (degraded): the rerouted flow collides with the decoy.
+    blast(&mut world, 0, 7, 15, &data);
+    blast(&mut world, 1, dst2, 15, &data);
+    let g = got.clone();
+    assert!(world.run_while(10_000_000_000, move |_| g.get() < 60), "batch 2 lost parcels");
+    telemetry::disable();
+    tel.timeline_finalize();
+
+    // (a) The SLO alert lands exactly in the first window holding an
+    // over-objective sample, at or after the failure.
+    let fault_w = tel.with_timeline(|tl| tl.window_of(fault_ns)).expect("timeline enabled");
+    let alerts = tel.timeline_alerts();
+    let alert = alerts
+        .iter()
+        .find(|a| a.rule == "reroute-lat")
+        .expect("link failure must breach the derived SLO");
+    assert!(alert.window >= fault_w, "alert precedes the failure");
+    let first_bad = tel
+        .with_timeline(|tl| {
+            (0..tl.num_windows()).find(|&w| {
+                tl.hist_window("parcel.latency_ns", w)
+                    .is_some_and(|h| h.count_at_most(objective) < h.count())
+            })
+        })
+        .expect("timeline enabled")
+        .expect("a breached window exists");
+    assert_eq!(alert.window, first_bad, "alert must land in the window the breach occurs");
+
+    // (b) The flight-recorder dump names the fault and carries rerouted
+    // 0 -> 7 parcels delivered after the failure instant.
+    let dumps = tel.timeline_dumps();
+    let dump = dumps
+        .iter()
+        .find(|d| d.reason == "fault:fab.link_down")
+        .expect("link failure must dump the flight recorder");
+    let rerouted = dump
+        .records
+        .iter()
+        .filter(|r| {
+            matches!(r, FlightRec::Flow { src: 0, dst: 7, deliver_ns, .. }
+                     if *deliver_ns > fault_ns)
+        })
+        .count();
+    assert!(rerouted > 0, "dump must contain rerouted 0->7 parcels");
+
+    // (c) The tail step is windowed-only: some post-failure window's
+    // p999 breaches the objective while the run-total mean stays under.
+    let merged = tel
+        .with_timeline(|tl| tl.merged_hist("parcel.latency_ns").expect("deliveries recorded"))
+        .expect("timeline enabled");
+    assert!(merged.mean() < objective as f64, "the run mean must hide the fault");
+    let step = tel
+        .with_timeline(|tl| {
+            (fault_w..tl.num_windows()).any(|w| {
+                tl.hist_window("parcel.latency_ns", w).is_some_and(|h| h.p999() > objective)
+            })
+        })
+        .expect("timeline enabled");
+    assert!(step, "post-failure windows must show a p999 step over the objective");
+}
+
+#[test]
 fn per_link_drop_faults_retransmit_but_deliver() {
     // Per-link loss on a multi-hop fat-tree route: every hop rolls
     // independently and recovers via link-level retransmit, so delivery

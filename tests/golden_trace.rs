@@ -128,6 +128,123 @@ fn telemetry_enabled_is_pure_observation() {
     }
 }
 
+/// The windowed timeline rides on the same hooks as plain telemetry, so
+/// enabling it (with SLO rules armed) must also be pure observation:
+/// every pinned timeline comes out bit-for-bit identical, while the
+/// window partition reproduces the run-total histograms exactly.
+#[test]
+fn timeline_enabled_reproduces_golden_pins() {
+    use hpx_lci_repro::telemetry::{SloRule, TimelineConfig};
+    for &(name, end_ns, executed, digest) in GOLDEN {
+        let cfg_tl = TimelineConfig {
+            slos: vec![SloRule {
+                name: "lat".into(),
+                hist: "parcel.latency_ns".into(),
+                objective_ns: 50_000,
+                target: 0.99,
+                burn_threshold: 1.0,
+                min_samples: 4,
+            }],
+            ..TimelineConfig::default()
+        };
+        let tel = hpx_lci_repro::telemetry::enable_with(cfg_tl);
+        let mut cfg = WorldConfig::two_nodes(name.parse().unwrap(), 8);
+        cfg.seed = 11;
+        let d = send_all(cfg, payloads());
+        hpx_lci_repro::telemetry::disable();
+        assert_eq!(d.delivered, 40, "{name}: lost deliveries under timeline");
+        assert_eq!(
+            d.world.sim.now().as_nanos(),
+            end_ns,
+            "{name}: enabling the timeline moved the virtual end time"
+        );
+        assert_eq!(
+            fnv_u64s(&d.checksums),
+            digest,
+            "{name}: enabling the timeline changed delivery order/content"
+        );
+        assert_eq!(
+            d.world.sim.events_executed(),
+            executed,
+            "{name}: enabling the timeline changed the event count"
+        );
+        // The windowed series must partition the run exactly: merging
+        // every window of the parcel-latency histogram reproduces the
+        // run-total histogram, one sample per delivered parcel.
+        tel.timeline_finalize();
+        let merged = tel
+            .with_timeline(|tl| tl.merged_hist("parcel.latency_ns").expect("deliveries recorded"))
+            .expect("timeline enabled");
+        let total =
+            tel.with_metrics(|m| m.hist("parcel.latency_ns").cloned()).expect("run total recorded");
+        assert_eq!(merged, total, "{name}: windows do not merge to the run total");
+        assert_eq!(merged.count(), 40, "{name}: expected one latency sample per parcel");
+    }
+}
+
+/// A deterministic fault scenario must produce a deterministic alert
+/// window and flight-recorder dump: same seed, same faults, same
+/// timeline — pinned like the timelines above. If these move, windowed
+/// observation (or fault injection) changed behavior.
+#[test]
+fn fault_scenario_pins_alert_window_and_flight_dump() {
+    use hpx_lci_repro::netsim::FaultConfig;
+    use hpx_lci_repro::telemetry::{SloRule, TimelineConfig};
+    // 10 µs windows over a ~70 µs run: the fault-inflated latency tail is
+    // visible per window while the run-mean stays low.
+    let cfg_tl = TimelineConfig {
+        window_ns: 10_000,
+        slos: vec![SloRule {
+            name: "lat".into(),
+            hist: "parcel.latency_ns".into(),
+            objective_ns: 25_000,
+            target: 0.99,
+            burn_threshold: 1.0,
+            min_samples: 2,
+        }],
+        ..TimelineConfig::default()
+    };
+    let tel = hpx_lci_repro::telemetry::enable_with(cfg_tl);
+    let mut cfg = WorldConfig::two_nodes("lci_psr_cq_pin_i".parse().unwrap(), 8);
+    cfg.seed = 11;
+    cfg.faults = Some(FaultConfig { drop_prob: 0.2, ..FaultConfig::default() });
+    let d = send_all(cfg, payloads());
+    hpx_lci_repro::telemetry::disable();
+    assert_eq!(d.delivered, 40, "drops must not lose parcels");
+    assert!(d.world.sim.stats.get("net.retransmitted") > 0, "20% loss must retransmit");
+    tel.timeline_finalize();
+
+    let alerts = tel.timeline_alerts();
+    let dumps = tel.timeline_dumps();
+    eprintln!(
+        "fault pins: end {} alerts {:?} dumps {:?}",
+        d.world.sim.now().as_nanos(),
+        alerts.iter().map(|a| (a.rule.clone(), a.window, a.bad, a.total)).collect::<Vec<_>>(),
+        dumps.iter().map(|f| (f.reason.clone(), f.window, f.records.len())).collect::<Vec<_>>(),
+    );
+    // The retransmit fault fires before any SLO window settles, so the
+    // recorder arms on the fault; the dump and the alert land in pinned
+    // windows with a pinned record population.
+    let first_dump = dumps.first().expect("fault must arm the flight recorder");
+    assert_eq!(first_dump.reason, "fault:net.retransmit", "dump must name the fault");
+    let first_alert = alerts.first().expect("late retransmitted parcels must breach the SLO");
+    assert_eq!(first_alert.rule, "lat");
+    // Pinned values, captured from this scenario's deterministic run.
+    assert_eq!(first_alert.window, 6, "alert window moved");
+    assert_eq!((first_alert.bad, first_alert.total), (7, 7), "alert population moved");
+    assert_eq!(first_dump.window, 0, "dump trigger window moved");
+    assert_eq!(first_dump.records.len(), 402, "dump record population moved");
+    // The dump must carry the retransmitted parcels themselves: flow
+    // records delivered after the triggering fault instant.
+    use hpx_lci_repro::telemetry::timeline::FlightRec;
+    let late_flows = first_dump
+        .records
+        .iter()
+        .filter(|r| matches!(r, FlightRec::Flow { deliver_ns, .. } if *deliver_ns > first_dump.trigger_ns))
+        .count();
+    assert!(late_flows > 0, "dump must include parcels delivered after the fault");
+}
+
 mod sharded {
     //! Sharded-engine golden pins: the parallel engine's canonical
     //! timeline for a fixed workload, frozen at capture time from the
