@@ -231,6 +231,13 @@ fn run_sweep(
     let (r, tel) = instrumented_for(targs, || {
         run_load(topology, hosts, HOTSPOT_RATE, msgs_per_node, true, seed + 97)
     });
+    if nominate_trace {
+        sink.set_params(&[
+            ("topology", label.to_string()),
+            ("hosts", hosts.to_string()),
+            ("msgs_per_node", msgs_per_node.to_string()),
+        ]);
+    }
     sink.emit(&tel, &config, nominate_trace);
     let report = tel.contention_report(&config);
     let knee_port = report
@@ -290,7 +297,7 @@ fn run_sweep(
 
 fn main() {
     let targs = TraceArgs::parse();
-    let mut sink = TraceSink::new(&targs);
+    let mut sink = TraceSink::new(&targs, "fabric_sweep");
     let scale = bench_scale();
     let msgs_per_node = ((200.0 * scale) as usize).max(10);
     // Quick runs (CI smoke) keep the 64-locality pair only; the full

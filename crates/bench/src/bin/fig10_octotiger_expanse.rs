@@ -22,15 +22,26 @@ const TRACE_CONFIG: &str = "lci_psr_cq_pin_i";
 /// track per core with parcel flow arrows crossing the two localities,
 /// and `--profile` prints each core's virtual-time state shares.
 fn instrumented_pass(targs: &TraceArgs, scale: f64, configs: &[&str]) {
-    let mut sink = TraceSink::new(targs);
+    let mut sink = TraceSink::new(targs, "fig10_octotiger_expanse");
     let traced: Vec<&str> =
         if targs.wants_reports() { configs.to_vec() } else { vec![TRACE_CONFIG] };
+    let level = targs.param_usize("level", 4) as u32;
+    let steps = targs.param_usize("steps", if scale < 1.0 { 2 } else { 3 }) as u32;
+    sink.set_params(&[
+        ("localities", "2".to_string()),
+        ("level", level.to_string()),
+        ("steps", steps.to_string()),
+    ]);
     println!("instrumented pass: 2 nodes, telemetry enabled");
     for c in &traced {
         let (r, tel) = instrumented_for(targs, || {
             let mut p = OctoParams::expanse(c.parse().unwrap(), 2);
-            p.level = 4;
-            p.steps = if scale < 1.0 { 2 } else { 3 };
+            p.level = level;
+            p.steps = steps;
+            let mut cost = simcore::CostModel::default_model();
+            if targs.apply_dials(&mut p.config, &mut cost, &mut p.wire) {
+                p.cost = Some(cost);
+            }
             run_octotiger(&p)
         });
         assert!(r.mass_ok, "{c}: invariant violated");

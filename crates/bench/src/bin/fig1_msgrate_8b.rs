@@ -24,14 +24,20 @@ use bench::{
 const TRACE_CONFIG: &str = "lci_psr_cq_pin_i";
 
 fn instrumented_pass(targs: &TraceArgs, scale: f64, configs: &[&str]) {
-    let mut sink = TraceSink::new(targs);
+    let mut sink = TraceSink::new(targs, "fig1_msgrate_8b");
     let traced: Vec<&str> =
         if targs.wants_reports() { configs.to_vec() } else { vec![TRACE_CONFIG] };
+    let total_msgs = targs.param_usize("total_msgs", ((10_000f64 * scale) as usize).max(1_000));
+    sink.set_params(&[("total_msgs", total_msgs.to_string())]);
     println!("instrumented pass: unlimited injection, telemetry enabled");
     for c in &traced {
         let (r, tel) = instrumented_for(targs, || {
             let mut p = MsgRateParams::small(c.parse().unwrap());
-            p.total_msgs = ((10_000f64 * scale) as usize).max(1_000);
+            p.total_msgs = total_msgs;
+            let mut cost = simcore::CostModel::default_model();
+            if targs.apply_dials(&mut p.config, &mut cost, &mut p.wire) {
+                p.cost = Some(cost);
+            }
             run_msgrate(&p)
         });
         println!("{c}: rate {} flows {}", fmt_kps(r.msg_rate), tel.flow_count());

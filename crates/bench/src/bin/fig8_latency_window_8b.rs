@@ -33,18 +33,25 @@ use parcelport::PpConfig;
 const TRACE_CONFIG: &str = "lci_psr_cq_pin_i";
 
 fn instrumented_pass(targs: &TraceArgs, scale: f64) {
-    let mut sink = TraceSink::new(targs);
+    let mut sink = TraceSink::new(targs, "fig8_latency_window_8b");
     let traced: Vec<PpConfig> = if targs.wants_reports() {
         PpConfig::paper_set()
     } else {
         vec![TRACE_CONFIG.parse().unwrap()]
     };
-    println!("instrumented pass: window 64, telemetry enabled");
+    let window = targs.param_usize("window", 64);
+    let steps = targs.param_usize("steps", ((100f64 * scale) as usize).max(25));
+    sink.set_params(&[("window", window.to_string()), ("steps", steps.to_string())]);
+    println!("instrumented pass: window {window}, telemetry enabled");
     for cfg in traced {
         let (r, tel) = instrumented_for(targs, || {
             let mut p = LatencyParams::new(cfg, 8);
-            p.window = 64;
-            p.steps = ((100f64 * scale) as usize).max(25);
+            p.window = window;
+            p.steps = steps;
+            let mut cost = simcore::CostModel::default_model();
+            if targs.apply_dials(&mut p.config, &mut cost, &mut p.wire) {
+                p.cost = Some(cost);
+            }
             run_latency(&p)
         });
         let name = cfg.to_string();

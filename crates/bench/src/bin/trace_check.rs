@@ -23,12 +23,25 @@
 //! merge exactly to the run totals; every counter's per-window deltas
 //! sum to the run total; alerts land inside the covered horizon.
 //!
+//! `--require-record FILE` validates a run-record document produced by
+//! `--record`: it parses (schema version, histogram bucket counts
+//! consistent with declared counts — both enforced by the parser), the
+//! critical-path component table sums exactly to the end-to-end total,
+//! the segment list is a gap-free partition of `[0, total_ns]` whose
+//! per-component sums reproduce the component table, delivered flows do
+//! not exceed started flows, and any window digest merges back to the
+//! run totals (per-key window counts/sums equal the full histogram,
+//! per-key window deltas equal the counter) — the same identities the
+//! diff engine relies on.
+//!
 //! Usage:
 //!   `trace_check FILE [--require-flows] [--require-counters] [--require-critpath]`
 //!   `trace_check --folded FILE`
 //!   `trace_check --require-timeline FILE`
+//!   `trace_check --require-record FILE`
 
 use telemetry::json::{parse, Value};
+use telemetry::record::RunRecord;
 
 fn main() {
     let mut path = None;
@@ -37,6 +50,7 @@ fn main() {
     let mut require_critpath = false;
     let mut folded = false;
     let mut timeline = false;
+    let mut record = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -52,13 +66,18 @@ fn main() {
                 path =
                     Some(it.next().unwrap_or_else(|| die("--require-timeline needs a file path")));
             }
+            "--require-record" => {
+                record = true;
+                path = Some(it.next().unwrap_or_else(|| die("--require-record needs a file path")));
+            }
             other if path.is_none() => path = Some(other.to_string()),
             other => die(&format!("unexpected argument {other:?}")),
         }
     }
     let path = path.unwrap_or_else(|| {
         die("usage: trace_check FILE [--require-flows] [--require-counters] \
-             [--require-critpath] | --folded FILE | --require-timeline FILE");
+             [--require-critpath] | --folded FILE | --require-timeline FILE | \
+             --require-record FILE");
     });
     let src =
         std::fs::read_to_string(&path).unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")));
@@ -66,6 +85,8 @@ fn main() {
         validate_folded(&src)
     } else if timeline {
         validate_timeline(&src)
+    } else if record {
+        validate_record(&src)
     } else {
         validate(&src, require_flows, require_counters, require_critpath)
     };
@@ -167,6 +188,9 @@ fn validate(
                 }
                 counters += 1;
             }
+            // Metadata records (process/thread names); no invariants
+            // beyond the name/ts checks above.
+            "M" => {}
             other => return Err(format!("event {i}: unexpected phase {other:?}")),
         }
     }
@@ -399,5 +423,112 @@ fn validate_timeline(src: &str) -> Result<String, String> {
         hist_acc.len(),
         counter_acc.len(),
         alerts.len()
+    ))
+}
+
+/// Validate a run-record document (see `--require-record` in the module
+/// docs): the parser already enforces the schema version and per-hist
+/// bucket/count consistency; on top of that, re-check every structural
+/// identity the diff engine gates on.
+fn validate_record(src: &str) -> Result<String, String> {
+    let rec = RunRecord::from_json(src)?;
+    if rec.flows_delivered > rec.flows_total {
+        return Err(format!(
+            "{} flows delivered out of {} started",
+            rec.flows_delivered, rec.flows_total
+        ));
+    }
+    let mut crit_summary = "no critical path".to_string();
+    if let Some(cp) = &rec.critpath {
+        if rec.end_to_end_ns != cp.total_ns {
+            return Err(format!(
+                "end_to_end_ns {} disagrees with critpath total {}",
+                rec.end_to_end_ns, cp.total_ns
+            ));
+        }
+        let comp_sum: u64 = cp.components.iter().map(|&(_, ns)| ns).sum();
+        if comp_sum != cp.total_ns {
+            return Err(format!(
+                "critical-path components sum to {comp_sum} ns, not the {} ns total",
+                cp.total_ns
+            ));
+        }
+        // The segment list must partition [0, total_ns] with no gap and
+        // reproduce the component table when re-aggregated.
+        let mut cursor = 0u64;
+        let mut seg_by_comp: std::collections::BTreeMap<&str, u64> = Default::default();
+        for (i, (comp, start, end)) in cp.segments.iter().enumerate() {
+            if *start != cursor {
+                return Err(format!(
+                    "segment {i} starts at {start} ns but the chain ends at {cursor} ns"
+                ));
+            }
+            if end < start {
+                return Err(format!("segment {i} ends before it starts"));
+            }
+            *seg_by_comp.entry(comp.as_str()).or_insert(0) += end - start;
+            cursor = *end;
+        }
+        if cursor != cp.total_ns {
+            return Err(format!(
+                "segments cover [0, {cursor}] ns, not the full [0, {}] makespan",
+                cp.total_ns
+            ));
+        }
+        for (comp, ns) in &cp.components {
+            if seg_by_comp.get(comp.as_str()).copied().unwrap_or(0) != *ns {
+                return Err(format!(
+                    "component {comp:?} claims {ns} ns on-path but its segments sum to {}",
+                    seg_by_comp.get(comp.as_str()).copied().unwrap_or(0)
+                ));
+            }
+        }
+        crit_summary = format!(
+            "critpath {} components / {} segments partition {} ns",
+            cp.components.len(),
+            cp.segments.len(),
+            cp.total_ns
+        );
+    }
+    // Window digests must merge back to the run totals for every key
+    // they share with the record (the timeline merge invariant).
+    let mut win_summary = "no window digest".to_string();
+    if let Some(w) = &rec.windows {
+        for (key, rows) in &w.hists {
+            let Some(h) = rec.hists.get(key) else { continue };
+            let count: u64 = rows.iter().map(|&(_, c, _)| c).sum();
+            let sum: u64 = rows.iter().map(|&(_, _, s)| s).sum();
+            if count != h.count() || sum != h.sum() {
+                return Err(format!(
+                    "window digest of hist {key:?} merges to count {count} / sum {sum}, \
+                     but the run total is count {} / sum {}",
+                    h.count(),
+                    h.sum()
+                ));
+            }
+        }
+        for (key, rows) in &w.counters {
+            let Some(&total) = rec.counters.get(key) else { continue };
+            let merged: u64 = rows.iter().map(|&(_, d)| d).sum();
+            if merged != total {
+                return Err(format!(
+                    "window digest of counter {key:?} merges to {merged}, \
+                     but the run total is {total}"
+                ));
+            }
+        }
+        win_summary = format!("{} windows x {} ns merge to totals", w.num_windows, w.window_ns);
+    }
+    Ok(format!(
+        "run record {} v{}: {} ns end-to-end, {} events, {} counters, {} hists, \
+         {} cores, {} resources; {crit_summary}; {win_summary}",
+        rec.label(),
+        rec.version,
+        rec.end_to_end_ns,
+        rec.events,
+        rec.counters.len(),
+        rec.hists.len(),
+        rec.profile.len(),
+        rec.resources.len()
     ))
 }

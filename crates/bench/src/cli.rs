@@ -18,7 +18,19 @@
 //!   and `FILE.dumpN.json` for any flight-recorder dumps;
 //! * `--slo` — install the default latency-objective burn-rate rules and
 //!   print any alerts;
-//! * `--window-us N` — timeline window width (default 100 µs).
+//! * `--window-us N` — timeline window width (default 100 µs);
+//! * `--record FILE` — canonical [`telemetry::RunRecord`] JSON of the
+//!   nominated run (the cross-run diffing artifact `perf_diff`
+//!   consumes);
+//! * `--out DIR` — route every artifact into `DIR` under canonical
+//!   names (`trace.json`, `report.json`, `folded.txt`, `timeline.json`,
+//!   `record.json`); per-flag paths still work and win over `--out`;
+//! * `--knobs KNOBS` — dial cost-model knobs *for the instrumented run
+//!   itself* (as opposed to `--whatif`, which predicts and measures
+//!   speedups): a knob-dialed `--record` is how a "what changed"
+//!   baseline comparison is produced;
+//! * `--param K=V` — workload parameter overrides the harness consults
+//!   (e.g. `--param window=8` on fig8); recorded in the run record.
 //!
 //! [`dispatch`] owns the shared "instrumented pass instead of the full
 //! sweep" branching the binaries used to duplicate.
@@ -51,6 +63,15 @@ pub struct TraceArgs {
     pub slo: bool,
     /// Timeline window width in µs (`--window-us N`).
     pub window_us: Option<u64>,
+    /// RunRecord output path for the nominated run (`--record FILE`).
+    pub record: Option<String>,
+    /// Artifact directory with canonical file names (`--out DIR`).
+    pub out: Option<String>,
+    /// Cost-model knobs dialed for the instrumented run itself
+    /// (`--knobs KNOBS`).
+    pub knobs: Option<String>,
+    /// Workload parameter overrides (`--param K=V`, repeatable).
+    pub params: Vec<(String, String)>,
 }
 
 fn usage(offender: &str) -> ! {
@@ -58,16 +79,23 @@ fn usage(offender: &str) -> ! {
         "unknown argument {offender:?} \
          (supported: --trace FILE, --breakdown, --json FILE, --profile, \
          --folded FILE, --critpath, --whatif KNOBS, --timeline FILE, \
-         --slo, --window-us N)"
+         --slo, --window-us N, --record FILE, --out DIR, --knobs KNOBS, \
+         --param K=V)"
     );
     std::process::exit(2);
 }
 
 impl TraceArgs {
     /// Parse the harness command line; exits with a usage message on an
-    /// unknown argument.
+    /// unknown argument. `--out DIR` is resolved here: the directory is
+    /// created and unset path flags are filled with canonical names.
     pub fn parse() -> TraceArgs {
-        TraceArgs::parse_from(std::env::args().skip(1))
+        let mut args = TraceArgs::parse_from(std::env::args().skip(1));
+        if args.out.is_some() {
+            std::fs::create_dir_all(args.out.as_deref().unwrap()).expect("create --out directory");
+            args.resolve_out();
+        }
+        args
     }
 
     /// [`TraceArgs::parse`] over an explicit argument list.
@@ -92,10 +120,54 @@ impl TraceArgs {
                     out.window_us =
                         Some(v.parse().expect("--window-us width must be a positive integer"));
                 }
+                "--record" => out.record = Some(it.next().expect("--record needs a file path")),
+                "--out" => out.out = Some(it.next().expect("--out needs a directory path")),
+                "--knobs" => out.knobs = Some(it.next().expect("--knobs needs a knob list")),
+                "--param" => {
+                    let kv = it.next().expect("--param needs K=V");
+                    let (k, v) = kv
+                        .split_once('=')
+                        .unwrap_or_else(|| panic!("--param expects K=V, got {kv:?}"));
+                    out.params.push((k.to_string(), v.to_string()));
+                }
                 other => usage(other),
             }
         }
         out
+    }
+
+    /// Fill unset path flags from `--out DIR` with canonical names. The
+    /// per-flag paths win when both are given; [`TraceArgs::parse`]
+    /// calls this after creating the directory.
+    pub fn resolve_out(&mut self) {
+        let Some(dir) = self.out.clone() else { return };
+        let fill = |slot: &mut Option<String>, name: &str| {
+            if slot.is_none() {
+                *slot = Some(format!("{dir}/{name}"));
+            }
+        };
+        fill(&mut self.trace, "trace.json");
+        fill(&mut self.json, "report.json");
+        fill(&mut self.folded, "folded.txt");
+        fill(&mut self.timeline, "timeline.json");
+        fill(&mut self.record, "record.json");
+    }
+
+    /// A `--param K=V` override, if present.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// A numeric `--param` override, falling back to `default`; exits
+    /// with a usage message when the value does not parse.
+    pub fn param_usize(&self, key: &str, default: usize) -> usize {
+        match self.param(key) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--param {key}={v:?}: value must be a non-negative integer");
+                std::process::exit(2);
+            }),
+        }
     }
 
     /// Whether an instrumented pass was requested.
@@ -108,6 +180,7 @@ impl TraceArgs {
             || self.critpath
             || self.whatif.is_some()
             || self.timeline_active()
+            || self.record.is_some()
     }
 
     /// Whether per-config reports (rather than just one Chrome trace)
@@ -140,36 +213,65 @@ impl TraceArgs {
     /// The parsed `--whatif` knob list; exits with a usage message on an
     /// unknown knob spec.
     pub fn whatif_knobs(&self) -> Option<Vec<crate::whatif::Knob>> {
-        use crate::whatif::Knob;
-        let spec = self.whatif.as_deref()?;
-        if spec == "all" {
-            return Some(vec![
-                Knob::SerializeScale(0.0),
-                Knob::WireLatencyScale(2.0),
-                Knob::WireLatencyScale(0.5),
-                Knob::WireBandwidthScale(2.0),
-                Knob::LockHoldScale(0.0),
-                Knob::TagMatchOff,
-                Knob::ProgressPerOpOff,
-                Knob::PollSkewOff,
-                Knob::SendImmediate,
-            ]);
-        }
-        Some(
-            spec.split(',')
-                .map(|s| {
-                    Knob::parse(s.trim()).unwrap_or_else(|| {
-                        eprintln!(
-                            "unknown --whatif knob {s:?} (supported: serialize_xK, \
-                             wire_latency_xK, wire_bw_xK, lock_hold_xK, tag_match_off, \
-                             cq_per_op_off, poll_skew_off, send_immediate, all)"
-                        );
-                        std::process::exit(2);
-                    })
-                })
-                .collect(),
-        )
+        self.whatif.as_deref().map(|spec| parse_knob_list("--whatif", spec))
     }
+
+    /// The parsed `--knobs` dial list (knobs applied to the instrumented
+    /// run itself); exits with a usage message on an unknown knob spec.
+    pub fn dial_knobs(&self) -> Option<Vec<crate::whatif::Knob>> {
+        self.knobs.as_deref().map(|spec| parse_knob_list("--knobs", spec))
+    }
+
+    /// Names of the dialed `--knobs`, for run-record metadata.
+    pub fn dial_knob_names(&self) -> Vec<String> {
+        self.dial_knobs().unwrap_or_default().iter().map(|k| k.name()).collect()
+    }
+
+    /// Apply the `--knobs` dials to one run's models; returns whether
+    /// anything was dialed.
+    pub fn apply_dials(
+        &self,
+        cfg: &mut parcelport::PpConfig,
+        cost: &mut simcore::CostModel,
+        wire: &mut netsim::WireModel,
+    ) -> bool {
+        let Some(knobs) = self.dial_knobs() else { return false };
+        for k in &knobs {
+            k.apply(cfg, cost, wire);
+        }
+        !knobs.is_empty()
+    }
+}
+
+/// Parse a comma-separated knob spec (`all` = the default sweep set);
+/// exits with a usage message on an unknown knob.
+fn parse_knob_list(flag: &str, spec: &str) -> Vec<crate::whatif::Knob> {
+    use crate::whatif::Knob;
+    if spec == "all" {
+        return vec![
+            Knob::SerializeScale(0.0),
+            Knob::WireLatencyScale(2.0),
+            Knob::WireLatencyScale(0.5),
+            Knob::WireBandwidthScale(2.0),
+            Knob::LockHoldScale(0.0),
+            Knob::TagMatchOff,
+            Knob::ProgressPerOpOff,
+            Knob::PollSkewOff,
+            Knob::SendImmediate,
+        ];
+    }
+    spec.split(',')
+        .map(|s| {
+            Knob::parse(s.trim()).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown {flag} knob {s:?} (supported: serialize_xK, \
+                     wire_latency_xK, wire_bw_xK, lock_hold_xK, tag_match_off, \
+                     cq_per_op_off, poll_skew_off, send_immediate, all)"
+                );
+                std::process::exit(2);
+            })
+        })
+        .collect()
 }
 
 /// The default `--slo` rules: end-to-end parcel latency and raw fabric
@@ -225,7 +327,12 @@ pub fn dispatch(
     if args.whatif.is_some() {
         whatif_pass();
     }
-    if args.trace.is_some() || args.wants_reports() || args.critpath || args.timeline_active() {
+    if args.trace.is_some()
+        || args.wants_reports()
+        || args.critpath
+        || args.timeline_active()
+        || args.record.is_some()
+    {
         instrumented_pass();
     }
     true
@@ -285,5 +392,58 @@ mod tests {
         let a = parse(&[]);
         assert!(!a.active() && !a.timeline_active());
         assert!(a.timeline_config().is_none());
+    }
+
+    #[test]
+    fn record_flag_activates_the_pass() {
+        let a = parse(&["--record", "r.json"]);
+        assert!(a.active() && !a.wants_reports() && !a.timeline_active());
+        assert_eq!(a.record.as_deref(), Some("r.json"));
+    }
+
+    #[test]
+    fn out_dir_fills_canonical_paths_without_clobbering() {
+        let mut a = parse(&["--out", "artifacts", "--trace", "mine.json"]);
+        a.resolve_out();
+        assert_eq!(a.trace.as_deref(), Some("mine.json"));
+        assert_eq!(a.json.as_deref(), Some("artifacts/report.json"));
+        assert_eq!(a.folded.as_deref(), Some("artifacts/folded.txt"));
+        assert_eq!(a.timeline.as_deref(), Some("artifacts/timeline.json"));
+        assert_eq!(a.record.as_deref(), Some("artifacts/record.json"));
+        assert!(a.active() && a.wants_reports() && a.timeline_active());
+    }
+
+    #[test]
+    fn params_and_knobs_parse() {
+        let a = parse(&[
+            "--param",
+            "window=8",
+            "--param",
+            "steps=50",
+            "--knobs",
+            "wire_latency_x2,send_immediate",
+        ]);
+        assert_eq!(a.param("window"), Some("8"));
+        assert_eq!(a.param_usize("window", 64), 8);
+        assert_eq!(a.param_usize("missing", 64), 64);
+        assert_eq!(
+            a.dial_knob_names(),
+            vec!["wire_latency_x2".to_string(), "send_immediate".to_string()]
+        );
+        // --knobs alone dials models but does not request a pass.
+        assert!(!a.active());
+        let mut cfg: parcelport::PpConfig = "lci_psr_cq_pin_i".parse().unwrap();
+        let mut cost = simcore::CostModel::default_model();
+        let mut wire = netsim::WireModel::expanse();
+        let before = wire.latency_ns;
+        assert!(a.apply_dials(&mut cfg, &mut cost, &mut wire));
+        assert_eq!(wire.latency_ns, before * 2);
+        assert!(cfg.send_immediate);
+    }
+
+    #[test]
+    fn repeated_params_last_wins() {
+        let a = parse(&["--param", "window=8", "--param", "window=64"]);
+        assert_eq!(a.param("window"), Some("64"));
     }
 }

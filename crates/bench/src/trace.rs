@@ -14,7 +14,7 @@
 use std::rc::Rc;
 
 pub use crate::cli::TraceArgs;
-use telemetry::Telemetry;
+use telemetry::{RunMeta, RunRecord, Telemetry};
 
 /// Run `f` under a fresh telemetry collector and return its result plus
 /// the collector. Worlds built inside `f` get per-locality span tracers
@@ -31,14 +31,33 @@ pub fn instrumented<R>(f: impl FnOnce() -> R) -> (R, Rc<Telemetry>) {
 /// on the command line.
 pub struct TraceSink {
     args: TraceArgs,
+    scenario: String,
+    params: Vec<(String, String)>,
     json_docs: Vec<String>,
     folded_docs: Vec<String>,
 }
 
 impl TraceSink {
-    /// A sink honoring `args`.
-    pub fn new(args: &TraceArgs) -> TraceSink {
-        TraceSink { args: args.clone(), json_docs: Vec::new(), folded_docs: Vec::new() }
+    /// A sink honoring `args`. `scenario` is the harness name stamped
+    /// into run records (e.g. `fig8_latency_window_8b`).
+    pub fn new(args: &TraceArgs, scenario: &str) -> TraceSink {
+        TraceSink {
+            args: args.clone(),
+            scenario: scenario.to_string(),
+            params: args.params.clone(),
+            json_docs: Vec::new(),
+            folded_docs: Vec::new(),
+        }
+    }
+
+    /// Add workload parameters to the run-record metadata (on top of any
+    /// `--param` overrides already captured from the command line).
+    pub fn set_params(&mut self, params: &[(&str, String)]) {
+        for (k, v) in params {
+            if !self.params.iter().any(|(pk, _)| pk == k) {
+                self.params.push((k.to_string(), v.clone()));
+            }
+        }
     }
 
     /// Emit the reports of one instrumented run. The Chrome trace and
@@ -89,6 +108,22 @@ impl TraceSink {
                     "wrote Chrome trace of {config} ({} spans, {} flows) -> {path}",
                     tel.span_count(),
                     tel.flow_count()
+                );
+            }
+            if let Some(path) = &self.args.record {
+                let rec = RunRecord::capture(
+                    tel,
+                    RunMeta {
+                        scenario: self.scenario.clone(),
+                        config: config.to_string(),
+                        params: self.params.clone(),
+                        knobs: self.args.dial_knob_names(),
+                    },
+                );
+                std::fs::write(path, rec.to_json()).expect("write run record");
+                println!(
+                    "wrote run record of {config} ({} ns end-to-end, {} events) -> {path}",
+                    rec.end_to_end_ns, rec.events
                 );
             }
         }

@@ -51,6 +51,17 @@ fn bucket_upper(idx: usize) -> u64 {
     lower.saturating_add(width - 1)
 }
 
+/// Smallest value that maps to bucket `idx`.
+fn bucket_lower(idx: usize) -> u64 {
+    if idx < SUBS {
+        return idx as u64;
+    }
+    let k = idx - SUBS;
+    let exp = (k / SUBS) as u32 + SUB_BITS;
+    let sub = (k % SUBS) as u64;
+    (SUBS as u64 + sub) << (exp - SUB_BITS)
+}
+
 impl Histogram {
     /// Create an empty histogram.
     pub fn new() -> Self {
@@ -136,19 +147,21 @@ impl Histogram {
     }
 
     /// Number of samples in buckets entirely at or below `v` — a
-    /// bucket-granularity count of "samples ≤ v". Samples in the bucket
+    /// bucket-granularity count of "samples ≤ v". Samples in a bucket
     /// straddling `v` count as above it, so `count() - count_at_most(v)`
     /// is a deterministic, slightly conservative bad-sample count for
     /// SLO evaluation.
+    ///
+    /// **Boundary guarantee**: when `v` is the exact upper bound of a
+    /// bucket (any value returned by [`Histogram::bucket_bounds`] or
+    /// [`Histogram::quantile`]), no bucket straddles `v` and the result
+    /// is the *exact* number of samples ≤ `v` — not an approximation.
     pub fn count_at_most(&self, v: u64) -> u64 {
-        let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            if bucket_upper(idx) > v {
-                break;
-            }
-            seen += c;
-        }
-        seen
+        // The highest bucket wholly ≤ v: the bucket holding v when v is
+        // its exact upper bound, its predecessor otherwise.
+        let idx = bucket_index(v);
+        let limit = if bucket_upper(idx) == v { idx + 1 } else { idx };
+        self.counts[..limit].iter().sum()
     }
 
     /// Fold `other` into `self`; equivalent to having recorded the union
@@ -161,6 +174,74 @@ impl Histogram {
         self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// The non-empty buckets, in value order: `(index, upper_bound,
+    /// count)`. Together with `sum`/`min`/`max` this is the histogram's
+    /// exact state — [`Histogram::from_buckets`] reconstructs a
+    /// bit-identical histogram from it, which is what makes run records
+    /// diffable at bucket granularity instead of quantile granularity.
+    pub fn buckets(&self) -> impl Iterator<Item = (usize, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(idx, &c)| (idx, bucket_upper(idx), c))
+    }
+
+    /// `[lower, upper]` value range of bucket `idx`.
+    pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+        (bucket_lower(idx), bucket_upper(idx))
+    }
+
+    /// Number of buckets (the fixed `counts` length).
+    pub fn num_buckets() -> usize {
+        NBUCKETS
+    }
+
+    /// Reconstruct a histogram from exact per-bucket counts plus the
+    /// tracked `sum`/`min`/`max` (as serialized by
+    /// [`Histogram::to_json`]). Returns an error on an out-of-range
+    /// bucket index; `count` is derived from the bucket counts.
+    pub fn from_buckets(
+        buckets: impl IntoIterator<Item = (usize, u64)>,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Result<Histogram, String> {
+        let mut h = Histogram::new();
+        for (idx, c) in buckets {
+            if idx >= NBUCKETS {
+                return Err(format!("bucket index {idx} out of range (max {})", NBUCKETS - 1));
+            }
+            h.counts[idx] += c;
+            h.count += c;
+        }
+        h.sum = sum;
+        h.min = if h.count == 0 { u64::MAX } else { min };
+        h.max = max;
+        Ok(h)
+    }
+
+    /// Exact JSON export: summary statistics, derived quantiles *and*
+    /// the full bucket counts (`"buckets":[[index,count],...]`), so two
+    /// serialized histograms can be diffed or merged without loss.
+    pub fn to_json(&self) -> String {
+        let buckets: Vec<String> =
+            self.buckets().map(|(idx, _, c)| format!("[{idx},{c}]")).collect();
+        format!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+             \"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"buckets\":[{}]}}",
+            self.count,
+            self.sum,
+            if self.count == 0 { 0 } else { self.min },
+            self.max,
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.p999(),
+            buckets.join(",")
+        )
     }
 }
 
@@ -234,6 +315,85 @@ mod tests {
         assert_eq!(h.count_at_most(u64::MAX), h.count());
         // Straddling-bucket samples count as above the threshold.
         assert!(h.count_at_most(9_000) <= 4);
+    }
+
+    #[test]
+    fn count_at_most_is_exact_at_bucket_boundaries() {
+        let mut h = Histogram::new();
+        let samples = [1u64, 5, 10, 17, 100, 9_000, 10_000, 250_000];
+        for &v in &samples {
+            h.record(v);
+        }
+        // At the exact upper bound of any bucket the count is the true
+        // number of samples ≤ that bound, with no conservative slack.
+        for idx in 0..NBUCKETS {
+            let upper = bucket_upper(idx);
+            let expect = samples.iter().filter(|&&s| s <= upper).count() as u64;
+            assert_eq!(h.count_at_most(upper), expect, "boundary {upper} (bucket {idx})");
+        }
+        // One below a bucket's lower bound is also a boundary (it is the
+        // previous bucket's upper bound), so it is exact too.
+        for idx in 1..NBUCKETS {
+            let below = bucket_lower(idx) - 1;
+            let expect = samples.iter().filter(|&&s| s <= below).count() as u64;
+            assert_eq!(h.count_at_most(below), expect, "below-lower {below} (bucket {idx})");
+        }
+    }
+
+    #[test]
+    fn count_at_most_interior_values_are_conservative() {
+        let mut h = Histogram::new();
+        h.record(9_000); // interior of a wide bucket
+        let idx = bucket_index(9_000);
+        let (lower, upper) = Histogram::bucket_bounds(idx);
+        assert!(lower < 9_000 && 9_000 < upper, "test needs an interior sample");
+        // Interior thresholds exclude the straddling bucket (conservative
+        // in the ≤ direction) …
+        assert_eq!(h.count_at_most(9_000), 0);
+        assert_eq!(h.count_at_most(upper - 1), 0);
+        // … and the exact boundary includes it.
+        assert_eq!(h.count_at_most(upper), 1);
+        assert_eq!(h.count_at_most(lower - 1), 0);
+    }
+
+    #[test]
+    fn bucket_bounds_are_contiguous() {
+        for idx in 1..NBUCKETS {
+            let (lower, _) = Histogram::bucket_bounds(idx);
+            let (_, prev_upper) = Histogram::bucket_bounds(idx - 1);
+            assert_eq!(prev_upper + 1, lower, "gap/overlap between buckets {} and {idx}", idx - 1);
+        }
+        assert_eq!(Histogram::bucket_bounds(0).0, 0);
+        assert_eq!(Histogram::bucket_bounds(NBUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn buckets_roundtrip_through_from_buckets() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 7, 8, 9, 100, 123_456, 1 << 40, u64::MAX] {
+            h.record(v);
+        }
+        let parts: Vec<(usize, u64)> = h.buckets().map(|(idx, _, c)| (idx, c)).collect();
+        let back = Histogram::from_buckets(parts, h.sum(), h.min(), h.max()).unwrap();
+        assert_eq!(back, h);
+        assert!(Histogram::from_buckets([(NBUCKETS, 1)], 0, 0, 0).is_err());
+        let empty = Histogram::from_buckets([], 0, 0, 0).unwrap();
+        assert_eq!(empty, Histogram::new());
+    }
+
+    #[test]
+    fn json_export_carries_exact_buckets() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 90, 4_000] {
+            h.record(v);
+        }
+        let json = h.to_json();
+        assert!(json.contains("\"count\":4"));
+        assert!(json.contains(&format!("[{},2]", bucket_index(3))));
+        assert!(json.contains(&format!("[{},1]", bucket_index(90))));
+        assert!(json.contains("\"buckets\":["));
+        // Empty histograms serialize min as 0, not u64::MAX.
+        assert!(Histogram::new().to_json().contains("\"min\":0"));
     }
 
     #[test]

@@ -33,11 +33,13 @@
 
 pub mod chrome;
 pub mod critpath;
+pub mod diff;
 pub mod flow;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod profile;
+pub mod record;
 pub mod report;
 pub mod timeline;
 
@@ -47,10 +49,12 @@ use std::rc::Rc;
 use simcore::{CausalLog, SimTime, Span};
 
 pub use critpath::{ComponentShare, CritPath, ParcelPath, PathSegment};
+pub use diff::RecordDiff;
 pub use flow::{stage, FlowRec, FlowTracer, STAGE_NAMES};
 pub use hist::Histogram;
 pub use metrics::{ContentionStat, ContentionTable, Metrics, ResourceKind};
 pub use profile::{CoreProfile, CoreState, CoreTimeReport};
+pub use record::{RunMeta, RunRecord};
 pub use report::{Breakdown, ContentionReport};
 pub use timeline::{FlightDump, SloAlert, SloRule, Timeline, TimelineConfig};
 

@@ -595,6 +595,11 @@ impl Timeline {
         self.hists.get(key).and_then(|ws| ws.get(&w))
     }
 
+    /// All non-empty windows of `key`, keyed by window index.
+    pub fn hist_windows(&self, key: &str) -> Option<&BTreeMap<u64, Histogram>> {
+        self.hists.get(key)
+    }
+
     /// Merge of all per-window sub-histograms of `key` — by the window
     /// partition invariant, bucket-identical to the run-total histogram.
     pub fn merged_hist(&self, key: &str) -> Option<Histogram> {

@@ -403,6 +403,77 @@ mod sharded {
     }
 }
 
+fn fnv_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Run-record capture must be *pure observation* on top of the already
+/// pure telemetry hooks: capturing a record from a finished run cannot
+/// perturb anything another exporter reads from the same collector
+/// (byte-identical Chrome traces before/after capture), the pinned
+/// golden timeline itself stays bit-for-bit unchanged, and the record
+/// document is deterministic down to its serialized bytes — pinned by
+/// digest so any schema or capture change is a conscious re-pin.
+#[test]
+fn run_record_capture_is_pure_and_pinned() {
+    use hpx_lci_repro::telemetry::record::{RunMeta, RunRecord};
+
+    // The fig1 message-rate scenario with every workload parameter fixed
+    // explicitly (never via BENCH_SCALE — the pin must not depend on the
+    // environment).
+    let meta = || RunMeta {
+        scenario: "fig1_msgrate_8b".into(),
+        config: "lci_psr_cq_pin_i".into(),
+        params: vec![("total_msgs".into(), "1000".into())],
+        knobs: vec![],
+    };
+    let run = || {
+        let tel = hpx_lci_repro::telemetry::enable();
+        let mut p = bench::MsgRateParams::small("lci_psr_cq_pin_i".parse().unwrap());
+        p.total_msgs = 1_000;
+        let r = bench::run_msgrate(&p);
+        hpx_lci_repro::telemetry::disable();
+        (r, tel)
+    };
+
+    let (r1, tel1) = run();
+    assert!(r1.msg_rate > 0.0);
+    let trace_before = tel1.chrome_trace_collected();
+    let rec1 = RunRecord::capture(&tel1, meta());
+    let trace_after = tel1.chrome_trace_collected();
+    assert_eq!(
+        trace_before, trace_after,
+        "capturing a run record changed the Chrome trace of the same collector"
+    );
+
+    // Same binary, same inputs: the record reproduces byte-for-byte.
+    let (_, tel2) = run();
+    let rec2 = RunRecord::capture(&tel2, meta());
+    let json = rec1.to_json();
+    assert_eq!(json, rec2.to_json(), "identical runs must yield byte-identical records");
+
+    // The partition identity every diff inherits.
+    let cp = rec1.critpath.as_ref().expect("instrumented run has a critical path");
+    let comp_sum: u64 = cp.components.iter().map(|&(_, ns)| ns).sum();
+    assert_eq!(comp_sum, cp.total_ns, "component table must partition the makespan");
+    assert_eq!(rec1.end_to_end_ns, cp.total_ns);
+
+    // Pinned record digest for the fig1 scenario. If this moves, either
+    // the simulation or the record schema changed — both are conscious
+    // decisions, and baselines under results/baselines/ must be
+    // re-recorded in the same commit.
+    assert_eq!(
+        fnv_bytes(json.as_bytes()),
+        0x44ea4b564d1d1442,
+        "fig1 run-record bytes moved — re-pin and re-record results/baselines/"
+    );
+}
+
 #[test]
 fn octotiger_trace_matches_pre_rewrite_engine() {
     use hpx_lci_repro::octotiger_mini::{run_octotiger, OctoParams};
