@@ -152,19 +152,17 @@ pub fn build_world(cfg: &WorldConfig, registry: ActionRegistry) -> World {
     }
     // The fabric's minimum first-hop latency is the conservative lookahead
     // the sharded engine relies on: a locality may only be reached from
-    // another locality `>= min_lookahead()` ns in the future. A
-    // zero-latency fabric would force lockstep execution of all localities
-    // (every shard window would close immediately), so reject it here —
-    // at construction, with a config-level error — rather than let a run
-    // quietly serialize. Holds for every topology: Direct uses the wire's
-    // propagation latency, switched topologies the shortest host NIC link.
+    // another locality `>= min_lookahead()` ns in the future. The fabric
+    // floors this at 1 ns even for zero-propagation wires (cross-lane
+    // *visibility* is deferred to the floor; local delivery timing is
+    // untouched — see `Fabric::min_lookahead`), so every wire model and
+    // topology yields a runnable conservative lookahead. Keep the
+    // invariant asserted here at construction so a fabric change can
+    // never silently reintroduce the zero-lookahead footgun.
     assert!(
         fabric.borrow().min_lookahead() > 0,
-        "wire model '{}' over '{}' topology has zero propagation latency: a zero-latency \
-         fabric offers no conservative lookahead and would force lockstep (fully \
-         serialized) execution; give WireModel::latency_ns (or every topology link) a \
-         value >= 1 (the 'ideal' preset is only usable for direct Fabric unit tests, \
-         not for World-level runs)",
+        "wire model '{}' over '{}' topology advertises zero conservative lookahead; \
+         Fabric::min_lookahead must floor it at 1 ns",
         cfg.wire.name,
         cfg.topology.label(),
     );
@@ -296,11 +294,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero propagation latency")]
-    fn zero_latency_wire_is_rejected() {
+    fn zero_latency_wire_gets_floor_lookahead() {
+        // The ideal wire used to be rejected outright (zero lookahead);
+        // the fabric now floors min_lookahead at 1 ns, so a world builds
+        // and the conservative invariant holds by construction.
         let mut cfg = WorldConfig::two_nodes("lci_psr_cq_pin_i".parse().unwrap(), 4);
         cfg.wire = WireModel::ideal();
-        let _ = build_world(&cfg, ActionRegistry::new());
+        let world = build_world(&cfg, ActionRegistry::new());
+        assert_eq!(world.fabric.borrow().min_lookahead(), 1);
     }
 
     #[test]

@@ -1,0 +1,693 @@
+//! The federated world: one engine lane per locality on the sharded
+//! conservative engine ([`simcore::ShardedSim`]).
+//!
+//! # Execution model
+//!
+//! [`build_world`](crate::build_world) drives every locality from one
+//! event heap; this module instead gives every locality its own *lane* —
+//! a [`LocalityNode`] actor owning a full nested [`Sim`], its locality,
+//! its parcelport stack, and a private [`Fabric`] replica. Lanes are
+//! placed onto engine shards (block partition, `rank * shards /
+//! localities`), and the conservative window is the fabric's
+//! [`Fabric::min_lookahead`] — asserted positive at construction, so
+//! every cross-locality wire transit pays at least one lookahead by
+//! construction.
+//!
+//! Cross-locality traffic leaves a lane as raw [`Packet`]s: after each
+//! nested advance the lane drains its fabric replica's outbound queues
+//! ([`Fabric::drain_remote`]) into per-`(src, dst)` payload mailboxes
+//! (each mutex touched by one producer and one consumer) and posts one
+//! engine wake per packet at `now + lookahead` — satisfying the engine's
+//! lookahead bound exactly. The destination lane accepts due packets
+//! ([`Fabric::accept_remote`]) with their *original* delivery instants
+//! before advancing, so wire timing is preserved: acceptance mirrors the
+//! legacy shared-fabric enqueue at send time, and delivery still happens
+//! at the modeled `deliver_at`. (On the ideal zero-latency wire the 1 ns
+//! lookahead floor defers cross-lane *visibility* by at most 1 ns; local
+//! delivery timing is untouched — see `Fabric::min_lookahead`.)
+//!
+//! # Determinism
+//!
+//! Lane placement and executor choice are invisible to results: the
+//! engine's canonical key `(time, lane, seq)` is independent of the
+//! shard count and of thread scheduling, every lane's nested `Sim` runs
+//! sequentially whatever thread hosts it, and mailbox acceptance scans
+//! sources in rank order. Shards ∈ {1, 2, 4, 8} × {sequential,
+//! threaded} all yield bit-identical canonical logs, digests, and
+//! telemetry (pinned by `tests/golden_trace.rs`).
+//!
+//! # Telemetry
+//!
+//! With a collector enabled, each lane owns a [`telemetry::LaneCollector`]
+//! (flow tracer namespaced by lane, private causal log, its own windowed
+//! timeline), installed around every dispatch and merged into the
+//! harness's collector in lane-rank order after the run — so merged
+//! telemetry is also shard-count- and run-mode-invariant.
+//!
+//! One modeling difference from the shared-fabric world is deliberate:
+//! switched-topology port contention is partitioned per *source* (each
+//! lane's replica only sees its own sends), so cross-source port queueing
+//! is not modeled in the federated world. Deterministic, documented in
+//! DESIGN.md §3.14.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+use amt::action::ActionRegistry;
+use amt::parcel_layer::ParcelLayerConfig;
+use amt::runtime::{Runtime, RuntimeConfig};
+use amt::sched::WorkerConfig;
+use amt::{Locality, Parcelport};
+use lci::{Device, DeviceConfig};
+use mpisim::{Comm, CommConfig};
+use netsim::{Fabric, Packet};
+use simcore::shard::{RunMode, RunReport};
+use simcore::{
+    CostModel, LaneCtx, LaneId, ShardActor, ShardEventId, ShardedSim, Sim, SimTime, Tracer,
+};
+
+use crate::builder::WorldConfig;
+use crate::config::{Backend, Progress};
+use crate::lci_pp::LciParcelport;
+use crate::mpi_pp::MpiParcelport;
+use crate::tcp_pp::TcpParcelport;
+
+/// A packet crossing lanes through a payload mailbox. The engine wake
+/// event carries only the happens-before edge; the payload rides here.
+struct MailPacket {
+    /// When the destination lane may observe the packet (`send-lane now +
+    /// lookahead` — monotone per mailbox, which keeps the due-scan a
+    /// front-of-queue check).
+    wake_at: SimTime,
+    /// The modeled delivery instant, preserved end-to-end.
+    deliver_at: SimTime,
+    pkt: Packet,
+}
+
+/// `localities × localities` mailboxes, indexed `src * n + dst`. Each
+/// mutex has exactly one producer (the source lane) and one consumer
+/// (the destination lane); the engine's epoch barrier provides ordering,
+/// the mutex only data-race freedom.
+type Mailboxes = Arc<Vec<Mutex<VecDeque<MailPacket>>>>;
+
+/// Engine-event tags for a lane.
+const ARG_WAKE: u64 = 0;
+const ARG_ADVANCE: u64 = 1;
+
+/// Per-lane application hooks supplied by the harness.
+pub struct LaneSetup {
+    /// This rank's action registry. Build it fresh per lane: closures
+    /// must not share `Rc` state across lanes (lanes may live on
+    /// different threads) — share through atomics or communicate through
+    /// parcels instead.
+    pub registry: ActionRegistry,
+    /// Opaque per-lane application state, readable back through
+    /// [`ShardedWorld::app`] after the run.
+    pub app: Option<Box<dyn Any>>,
+    /// Runs at the start of every dispatch on whatever thread hosts the
+    /// lane — the hook for replicating thread-local registration (e.g.
+    /// octotiger's action-id bundle) onto engine worker threads.
+    pub thread_prep: Option<Box<dyn Fn() + Send>>,
+}
+
+impl From<ActionRegistry> for LaneSetup {
+    fn from(registry: ActionRegistry) -> Self {
+        LaneSetup { registry, app: None, thread_prep: None }
+    }
+}
+
+/// One locality as a shard actor: a nested `Sim` plus the full per-rank
+/// stack of [`build_world`](crate::build_world), advanced lockstep with
+/// engine time.
+pub struct LocalityNode {
+    rank: usize,
+    localities: usize,
+    lookahead: u64,
+    /// The nested simulator. Node ids are namespaced `rank << 44` so
+    /// per-lane causal logs merge without collisions (lane 0 keeps the
+    /// legacy namespace).
+    sim: Sim,
+    fabric: Rc<RefCell<Fabric>>,
+    locality: Rc<Locality>,
+    collector: RefCell<Option<telemetry::LaneCollector>>,
+    app: Option<Box<dyn Any>>,
+    thread_prep: Option<Box<dyn Fn() + Send>>,
+    mail: Mailboxes,
+    /// The one engine event armed at the nested heap head.
+    advance: Option<ShardEventId>,
+    /// Reused outbound drain buffer.
+    drain: Vec<(SimTime, Packet)>,
+}
+
+// SAFETY: a lane is built on the driving thread and then owned by its
+// shard; the engine dispatches shards on at most one thread at a time
+// and only migrates them at epoch barriers (join/handoff provides the
+// happens-before edge). All `Rc`/`RefCell` state is reachable only
+// through this node, and the thread-local collectors it touches are
+// installed at dispatch entry and uninstalled at exit, so nothing leaks
+// across threads.
+unsafe impl Send for LocalityNode {}
+
+impl LocalityNode {
+    /// This lane's locality.
+    pub fn locality(&self) -> &Rc<Locality> {
+        &self.locality
+    }
+
+    /// This lane's fabric replica.
+    pub fn fabric(&self) -> &Rc<RefCell<Fabric>> {
+        &self.fabric
+    }
+
+    /// Virtual time the nested simulator has reached.
+    pub fn nested_now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Events the nested simulator executed.
+    pub fn nested_events(&self) -> u64 {
+        self.sim.events_executed()
+    }
+
+    /// The per-lane application state installed via [`LaneSetup::app`].
+    pub fn app_ref(&self) -> Option<&dyn Any> {
+        self.app.as_deref()
+    }
+}
+
+impl ShardActor for LocalityNode {
+    fn on_event(&mut self, ctx: &mut LaneCtx<'_>, arg: u64) {
+        if let Some(prep) = &self.thread_prep {
+            prep();
+        }
+        let collector = self.collector.borrow();
+        if let Some(c) = collector.as_ref() {
+            c.install();
+            telemetry::profile_set_loc(self.rank);
+        }
+        let now = ctx.now();
+        if arg == ARG_ADVANCE {
+            self.advance = None;
+        }
+
+        // 1. Accept every due inbound packet, sources in rank order (the
+        //    deterministic merge order), per-source FIFO — which is the
+        //    per-channel FIFO `Fabric::accept_remote` requires.
+        let n = self.localities;
+        for src in 0..n {
+            if src == self.rank {
+                continue;
+            }
+            let mut q = self.mail[src * n + self.rank].lock().expect("mailbox poisoned");
+            while q.front().is_some_and(|m| m.wake_at <= now) {
+                let m = q.pop_front().expect("front checked");
+                self.fabric.borrow_mut().accept_remote(&mut self.sim, m.deliver_at, m.pkt);
+            }
+        }
+
+        // 2. Advance the nested world to engine time.
+        self.sim.run_until(now);
+
+        // 3. Export outbound packets: payload into the mailbox, one
+        //    engine wake per packet at exactly `now + lookahead`.
+        self.fabric.borrow_mut().drain_remote(self.rank, &mut self.drain);
+        let wake = now + self.lookahead;
+        for (deliver_at, pkt) in self.drain.drain(..) {
+            let dst = pkt.dst;
+            debug_assert!(dst < n && dst != self.rank);
+            self.mail[self.rank * n + dst]
+                .lock()
+                .expect("mailbox poisoned")
+                .push_back(MailPacket { wake_at: wake, deliver_at, pkt });
+            ctx.send(LaneId(dst as u32), wake, ARG_WAKE);
+        }
+
+        // 4. Re-arm the advance event at the nested heap head.
+        match (self.advance, self.sim.next_event_at()) {
+            (Some(id), Some(at)) => {
+                let live = ctx.reschedule(id, at);
+                debug_assert!(live, "armed advance event must be pending");
+            }
+            (Some(id), None) => {
+                ctx.cancel(id);
+                self.advance = None;
+            }
+            (None, Some(at)) => {
+                self.advance = Some(ctx.schedule_at(at, ARG_ADVANCE));
+            }
+            (None, None) => {}
+        }
+
+        if let Some(c) = collector.as_ref() {
+            c.uninstall();
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A fully-wired federated world, ready to run.
+pub struct ShardedWorld {
+    /// The sharded engine holding one [`LocalityNode`] lane per locality.
+    pub engine: ShardedSim,
+    /// The configuration it was built from.
+    pub config: WorldConfig,
+    /// Engine shards the lanes were placed on.
+    pub shards: usize,
+    lookahead: u64,
+    /// The harness collector that was active on the building thread, kept
+    /// by handle: in sequential mode the lane dispatches run on this very
+    /// thread and each dispatch's collector uninstall clears the
+    /// thread-local slot, so re-querying `telemetry::active()` at merge
+    /// time would silently find nothing.
+    main_tel: Option<Rc<telemetry::Telemetry>>,
+    merged: bool,
+}
+
+/// Build a federated world: `cfg.localities` lanes over `shards` engine
+/// shards. `setup(rank)` supplies each lane's registry and hooks;
+/// `seed(rank, sim, locality)` plants the initial workload into each
+/// lane's nested simulator (the federated analogue of scheduling into
+/// `World::sim`).
+pub fn build_sharded_world(
+    cfg: &WorldConfig,
+    shards: usize,
+    mut setup: impl FnMut(usize) -> LaneSetup,
+    mut seed: impl FnMut(usize, &mut Sim, &Rc<Locality>),
+) -> ShardedWorld {
+    let n = cfg.localities;
+    let shards = shards.clamp(1, n);
+    let devices = cfg.lci_devices.max(1);
+    let cost = Rc::new(cfg.cost.clone().unwrap_or_else(CostModel::default_model));
+
+    // The conservative lookahead comes from the fabric model itself —
+    // `Fabric::min_lookahead` floors it at 1 ns even for zero-propagation
+    // wires, and the engine asserts it positive again at construction.
+    let mut probe = Fabric::with_contexts(n, cfg.wire.clone(), devices);
+    probe.install_topology(&cfg.topology);
+    let lookahead = probe.min_lookahead();
+    assert!(
+        lookahead > 0,
+        "wire model '{}' over '{}' topology advertises zero conservative lookahead; \
+         Fabric::min_lookahead must floor it at 1 ns",
+        cfg.wire.name,
+        cfg.topology.label(),
+    );
+    drop(probe);
+
+    let mail: Mailboxes =
+        Arc::new((0..n * n).map(|_| Mutex::new(VecDeque::new())).collect::<Vec<_>>());
+
+    let dedicated = cfg.pp.dedicated_progress();
+    let rt_cfg = RuntimeConfig {
+        localities: n,
+        workers: if dedicated {
+            WorkerConfig::with_progress(cfg.cores)
+        } else {
+            WorkerConfig::workers_only(cfg.cores)
+        },
+        layer: ParcelLayerConfig {
+            zero_copy_threshold: cfg.zero_copy_threshold,
+            send_immediate: cfg.pp.send_immediate,
+            max_connections: cfg.max_connections,
+        },
+    };
+
+    let timeline = telemetry::active().and_then(|tel| tel.timeline_config());
+    let mut engine = ShardedSim::new(shards, lookahead);
+    for rank in 0..n {
+        let LaneSetup { registry, app, thread_prep } = setup(rank);
+
+        let mut sim = Sim::new(cfg.seed);
+        // Lane-namespaced causal node ids; lane 0 keeps the legacy ids.
+        sim.set_node_base((rank as u64) << 44);
+
+        // A full-size fabric replica: this lane models its own sends end
+        // to end; inbound packets are accepted with their original
+        // delivery instants.
+        let fabric = Rc::new(RefCell::new(Fabric::with_contexts(n, cfg.wire.clone(), devices)));
+        fabric.borrow_mut().install_topology(&cfg.topology);
+        if let Some(f) = &cfg.faults {
+            fabric.borrow_mut().set_faults(f.clone());
+        }
+
+        let loc = Runtime::single_locality(rank, &rt_cfg, cost.clone(), registry);
+        let pp: Rc<RefCell<dyn Parcelport>> = match cfg.pp.backend {
+            Backend::Tcp => Rc::new(RefCell::new(TcpParcelport::new(
+                rank,
+                fabric.clone(),
+                cost.clone(),
+                cfg.pp.send_immediate,
+            ))),
+            Backend::Mpi => {
+                let comm = Comm::new(
+                    rank,
+                    fabric.clone(),
+                    cost.clone(),
+                    CommConfig { eager_threshold: 8192, progress_burst: 8 },
+                );
+                Rc::new(RefCell::new(MpiParcelport::new(
+                    comm,
+                    cost.clone(),
+                    cfg.pp.original_mpi,
+                    cfg.pp.send_immediate,
+                )))
+            }
+            Backend::Lci => {
+                let devs: Vec<Device> = (0..devices)
+                    .map(|ctx| {
+                        Device::new(
+                            rank,
+                            fabric.clone(),
+                            cost.clone(),
+                            DeviceConfig {
+                                eager_threshold: 8192,
+                                packet_pool_size: 4096,
+                                progress_burst: if cfg.pp.progress == Progress::Pin {
+                                    8
+                                } else {
+                                    2
+                                },
+                                ctx: ctx as u8,
+                            },
+                        )
+                    })
+                    .collect();
+                Rc::new(RefCell::new(LciParcelport::new_multi(devs, cost.clone(), cfg.pp)))
+            }
+        };
+        loc.set_parcelport(pp);
+        let weak = Rc::downgrade(&loc);
+        fabric.borrow_mut().set_arrival_waker(
+            rank,
+            Rc::new(move |sim, at| {
+                if let Some(loc) = weak.upgrade() {
+                    loc.wake_progress(sim, at);
+                }
+            }),
+        );
+        loc.start(&mut sim);
+        seed(rank, &mut sim, &loc);
+
+        let collector = if telemetry::enabled() {
+            loc.set_tracer(Tracer::new());
+            Some(telemetry::LaneCollector::new(rank as u32, timeline.clone()))
+        } else {
+            None
+        };
+
+        let node = LocalityNode {
+            rank,
+            localities: n,
+            lookahead,
+            sim,
+            fabric,
+            locality: loc,
+            collector: RefCell::new(collector),
+            app,
+            thread_prep,
+            mail: mail.clone(),
+            advance: None,
+            drain: Vec::new(),
+        };
+        // Block placement keeps SFC-adjacent localities on one shard.
+        let lane = engine.add_actor(rank * shards / n, Box::new(node));
+        assert_eq!(lane, LaneId(rank as u32), "lane ids must equal ranks");
+        // Bootstrap: one advance at t=0 (every locality armed its core
+        // ticks at 0). The node re-arms with a cancellable handle from
+        // its first dispatch onward.
+        engine.seed(lane, SimTime::ZERO, ARG_ADVANCE);
+    }
+
+    ShardedWorld {
+        engine,
+        config: cfg.clone(),
+        shards,
+        lookahead,
+        main_tel: telemetry::active(),
+        merged: false,
+    }
+}
+
+impl ShardedWorld {
+    /// The conservative lookahead (ns) the lanes run under.
+    pub fn lookahead(&self) -> u64 {
+        self.lookahead
+    }
+
+    /// The lane actor of `rank`.
+    pub fn node(&self, rank: usize) -> &LocalityNode {
+        self.engine
+            .actor::<LocalityNode>(LaneId(rank as u32))
+            .expect("every rank has a LocalityNode lane")
+    }
+
+    /// Locality by rank.
+    pub fn locality(&self, rank: usize) -> Rc<Locality> {
+        self.node(rank).locality.clone()
+    }
+
+    /// Downcast rank's [`LaneSetup::app`] state.
+    pub fn app<T: 'static>(&self, rank: usize) -> Option<&T> {
+        self.node(rank).app_ref()?.downcast_ref::<T>()
+    }
+
+    /// Run the engine to quiescence. `mode` pins the executor; `None`
+    /// lets the engine pick (threaded when shards > 1 and the host has
+    /// cores to spare). Merges per-lane telemetry into the harness
+    /// collector afterwards.
+    pub fn run(&mut self, mode: Option<RunMode>) -> RunReport {
+        let report = match mode {
+            Some(RunMode::Sequential) => self.engine.run_sequential(),
+            Some(RunMode::Threaded) => self.engine.run_threaded(),
+            None => self.engine.run(),
+        };
+        self.merge_telemetry();
+        report
+    }
+
+    /// Sum of nested events executed across lanes — the federated
+    /// analogue of `World::sim.events_executed()`.
+    pub fn events_executed(&self) -> u64 {
+        (0..self.config.localities).map(|r| self.node(r).nested_events()).sum()
+    }
+
+    /// Latest nested virtual time across lanes.
+    pub fn now(&self) -> SimTime {
+        (0..self.config.localities)
+            .map(|r| self.node(r).nested_now())
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Drain per-lane collectors (flows, metrics, causal logs, spans,
+    /// timelines) into the harness collector, lanes in rank order —
+    /// exactly once; later calls are no-ops. Runs automatically at the
+    /// end of [`ShardedWorld::run`].
+    pub fn merge_telemetry(&mut self) {
+        if self.merged {
+            return;
+        }
+        self.merged = true;
+        let Some(main) = self.main_tel.take() else { return };
+        let mut lanes = Vec::new();
+        for rank in 0..self.config.localities {
+            let node = self.node(rank);
+            let Some(collector) = node.collector.borrow_mut().take() else { continue };
+            if let Some(tr) = node.locality.take_tracer() {
+                collector.telemetry().add_spans(tr.spans().iter().cloned());
+            }
+            lanes.push(collector);
+        }
+        if !lanes.is_empty() {
+            telemetry::merge_lane_collectors(&main, lanes);
+        }
+    }
+}
+
+impl Drop for ShardedWorld {
+    fn drop(&mut self) {
+        self.merge_telemetry();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn sink_registry(hits: Arc<AtomicUsize>, expected_size: usize) -> ActionRegistry {
+        let mut registry = ActionRegistry::new();
+        registry.register("sink", move |sim, _loc, _core, p| {
+            assert_eq!(p.args[0].len(), expected_size, "payload size corrupted");
+            hits.fetch_add(1, Ordering::Relaxed);
+            sim.now() + 200
+        });
+        registry
+    }
+
+    /// `n` messages of `size` bytes from rank 0 to rank 1, across lanes.
+    fn roundtrip(ppname: &str, size: usize, count: usize, shards: usize, mode: Option<RunMode>) {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let cfg = WorldConfig::two_nodes(ppname.parse().unwrap(), 4);
+        let h = hits.clone();
+        let mut world = build_sharded_world(
+            &cfg,
+            shards,
+            move |_rank| sink_registry(h.clone(), size).into(),
+            move |rank, sim, loc| {
+                if rank != 0 {
+                    return;
+                }
+                let action = loc.with_registry(|r| r.id_of("sink").unwrap());
+                for _ in 0..count {
+                    let payload = Bytes::from(vec![0xABu8; size]);
+                    let loc = loc.clone();
+                    loc.clone().spawn(
+                        sim,
+                        0,
+                        Box::new(move |sim, _l, core| {
+                            loc.send_action(sim, core, 1, action, vec![payload.clone()])
+                        }),
+                    );
+                }
+            },
+        );
+        world.run(mode);
+        assert_eq!(
+            hits.load(Ordering::Relaxed),
+            count,
+            "{ppname}: lost messages across lanes (shards={shards})"
+        );
+    }
+
+    #[test]
+    fn all_backends_roundtrip_across_lanes() {
+        for pp in ["lci_psr_cq_pin_i", "mpi_i", "tcp_i"] {
+            roundtrip(pp, 8, 20, 2, Some(RunMode::Sequential));
+            roundtrip(pp, 16 * 1024, 5, 2, Some(RunMode::Sequential));
+        }
+    }
+
+    #[test]
+    fn threaded_matches_sequential_digest() {
+        let digest_of = |mode: RunMode| {
+            let hits = Arc::new(AtomicUsize::new(0));
+            let cfg = WorldConfig::two_nodes("lci_psr_cq_pin_i".parse().unwrap(), 4);
+            let h = hits.clone();
+            let mut world = build_sharded_world(
+                &cfg,
+                2,
+                move |_rank| sink_registry(h.clone(), 8).into(),
+                move |rank, sim, loc| {
+                    if rank != 0 {
+                        return;
+                    }
+                    let action = loc.with_registry(|r| r.id_of("sink").unwrap());
+                    for _ in 0..30 {
+                        let loc = loc.clone();
+                        loc.clone().spawn(
+                            sim,
+                            0,
+                            Box::new(move |sim, _l, core| {
+                                loc.send_action(
+                                    sim,
+                                    core,
+                                    1,
+                                    action,
+                                    vec![Bytes::from_static(b"12345678")],
+                                )
+                            }),
+                        );
+                    }
+                },
+            );
+            world.engine.set_exec_capture(true);
+            world.run(Some(mode));
+            assert_eq!(hits.load(Ordering::Relaxed), 30);
+            (world.engine.digest(), world.events_executed(), world.now())
+        };
+        assert_eq!(digest_of(RunMode::Sequential), digest_of(RunMode::Threaded));
+    }
+
+    #[test]
+    fn shard_count_is_invisible_to_results() {
+        let run = |shards: usize| {
+            let hits = Arc::new(AtomicUsize::new(0));
+            let cfg = WorldConfig::cluster("lci_psr_cq_pin_i".parse().unwrap(), 4, 4);
+            let h = hits.clone();
+            let mut world = build_sharded_world(
+                &cfg,
+                shards,
+                move |_rank| sink_registry(h.clone(), 8).into(),
+                move |rank, sim, loc| {
+                    if rank != 0 {
+                        return;
+                    }
+                    let action = loc.with_registry(|r| r.id_of("sink").unwrap());
+                    for dst in 1..4usize {
+                        for _ in 0..5 {
+                            let loc = loc.clone();
+                            loc.clone().spawn(
+                                sim,
+                                0,
+                                Box::new(move |sim, _l, core| {
+                                    loc.send_action(
+                                        sim,
+                                        core,
+                                        dst,
+                                        action,
+                                        vec![Bytes::from_static(b"zzzzzzzz")],
+                                    )
+                                }),
+                            );
+                        }
+                    }
+                },
+            );
+            world.engine.set_exec_capture(true);
+            world.run(Some(RunMode::Sequential));
+            assert_eq!(hits.load(Ordering::Relaxed), 15, "shards={shards}: lost parcels");
+            (world.engine.digest(), world.events_executed(), world.now())
+        };
+        let base = run(1);
+        assert_eq!(base, run(2));
+        assert_eq!(base, run(4));
+    }
+
+    #[test]
+    fn zero_latency_wire_rides_the_floor_lookahead() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let mut cfg = WorldConfig::two_nodes("lci_psr_cq_pin_i".parse().unwrap(), 4);
+        cfg.wire = netsim::WireModel::ideal();
+        let h = hits.clone();
+        let mut world = build_sharded_world(
+            &cfg,
+            2,
+            move |_rank| sink_registry(h.clone(), 8).into(),
+            move |rank, sim, loc| {
+                if rank != 0 {
+                    return;
+                }
+                let action = loc.with_registry(|r| r.id_of("sink").unwrap());
+                let loc = loc.clone();
+                loc.clone().spawn(
+                    sim,
+                    0,
+                    Box::new(move |sim, _l, core| {
+                        loc.send_action(sim, core, 1, action, vec![Bytes::from_static(b"floor!!!")])
+                    }),
+                );
+            },
+        );
+        assert_eq!(world.lookahead(), 1, "ideal wire must advertise the 1 ns floor");
+        world.run(Some(RunMode::Sequential));
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+}

@@ -192,6 +192,15 @@ pub struct ShardCausalData {
 /// Parent references (including cross-shard ones) are remapped; a parent
 /// that was never recorded (e.g. scheduled before capture began) maps to 0.
 pub fn merge_sharded(shards: Vec<ShardCausalData>) -> Rc<CausalLog> {
+    merge_sharded_with_remap(shards).0
+}
+
+/// [`merge_sharded`], additionally returning the `original gid -> merged
+/// 1-based id` map so observers holding raw node ids (e.g. the flow
+/// tracer's delivery nodes) can follow the renumbering.
+pub fn merge_sharded_with_remap(
+    shards: Vec<ShardCausalData>,
+) -> (Rc<CausalLog>, std::collections::HashMap<u64, u64>) {
     let truncated = shards.iter().any(|s| s.truncated);
     // (at, original gid, parent gid) for every node, canonically sorted.
     let mut order: Vec<(u64, u64, u64)> = Vec::new();
@@ -220,7 +229,9 @@ pub fn merge_sharded(shards: Vec<ShardCausalData>) -> Rc<CausalLog> {
     // within an owner (stable sort).
     marks.sort_by_key(|&(owner, _)| owner);
     let marks: Vec<MarkRec> = marks.into_iter().map(|(_, m)| m).collect();
-    Rc::new(CausalLog { inner: RefCell::new(LogInner { base: 1, nodes, marks, truncated }) })
+    let log =
+        Rc::new(CausalLog { inner: RefCell::new(LogInner { base: 1, nodes, marks, truncated }) });
+    (log, remap)
 }
 
 thread_local! {

@@ -403,6 +403,238 @@ mod sharded {
     }
 }
 
+mod sharded_world {
+    //! Federated-world golden pins: the `World`/`Locality` layer running
+    //! one engine lane per locality on the sharded conservative engine.
+    //! Engine placement is pure mechanics — every shard count and both
+    //! executors must reproduce the *single-heap* world's pinned
+    //! timeline bit-for-bit: same virtual end time, same delivery
+    //! digest, same per-lane event total, same canonical engine log.
+
+    use super::{common, fnv_u64s, payloads, GOLDEN};
+    use common::{send_all, send_all_sharded};
+    use hpx_lci_repro::parcelport::WorldConfig;
+    use hpx_lci_repro::simcore::shard::RunMode;
+
+    const PLACEMENTS: &[(usize, RunMode)] = &[
+        (1, RunMode::Sequential),
+        (1, RunMode::Threaded),
+        (2, RunMode::Sequential),
+        (2, RunMode::Threaded),
+    ];
+
+    /// `(config, quiescence end ns, nested events executed, canonical
+    /// engine digest)` — captured from the 1-shard sequential federated
+    /// run. The end time and event count exceed the single-heap GOLDEN
+    /// values *by design*: the single-heap harness stops the instant the
+    /// 40th delivery lands, while the federated engine runs its lanes to
+    /// quiescence (trailing sink completions and progress-poll
+    /// wind-down). The delivery digest, by contrast, must equal GOLDEN
+    /// exactly — what is delivered, in what order, with what content is
+    /// engine-independent.
+    const SHARDED_PINS: &[(&str, u64, u64, u64)] = &[
+        ("lci_psr_cq_pin_i", 78_001, 185, 0xc08cfcaf068fb099),
+        ("mpi", 369_326, 988, 0x32bdcc3f2e9b5e29),
+        ("lci_sr_sy_mt_i", 161_000, 316, 0x9c6df252f031af0f),
+    ];
+
+    /// Single-heap delivery digest for `name` (from the GOLDEN table).
+    fn golden_delivery_digest(name: &str) -> u64 {
+        GOLDEN.iter().find(|g| g.0 == name).expect("config pinned in GOLDEN").3
+    }
+
+    #[test]
+    #[ignore]
+    fn capture_pins() {
+        for &(name, ..) in SHARDED_PINS {
+            let mut cfg = WorldConfig::two_nodes(name.parse().unwrap(), 8);
+            cfg.seed = 11;
+            let d = send_all_sharded(cfg, super::payloads(), 1, RunMode::Sequential);
+            eprintln!(
+                "(\"{name}\", {}, {}, {:#018x}),",
+                d.world.now().as_nanos(),
+                d.world.events_executed(),
+                d.world.engine.digest(),
+            );
+        }
+    }
+
+    /// Every pinned two-node timeline survives federation: the delivery
+    /// digest equals the single-heap GOLDEN constant, and the quiescence
+    /// end time, nested event total, and canonical engine log are
+    /// identical at every shard count under both executors.
+    #[test]
+    fn federated_world_matches_single_heap_pins() {
+        for &(name, end_ns, executed, engine_digest) in SHARDED_PINS {
+            for &(shards, mode) in PLACEMENTS {
+                let mut cfg = WorldConfig::two_nodes(name.parse().unwrap(), 8);
+                cfg.seed = 11;
+                let d = send_all_sharded(cfg, payloads(), shards, mode);
+                let what = format!("{name} shards={shards} {mode:?}");
+                assert_eq!(d.delivered, 40, "{what}: lost deliveries");
+                assert_eq!(
+                    fnv_u64s(&d.checksums),
+                    golden_delivery_digest(name),
+                    "{what}: delivery order/content diverged from the single-heap world"
+                );
+                assert_eq!(
+                    d.world.now().as_nanos(),
+                    end_ns,
+                    "{what}: quiescence end time moved with placement"
+                );
+                assert_eq!(
+                    d.world.events_executed(),
+                    executed,
+                    "{what}: nested event total moved with placement"
+                );
+                assert_eq!(
+                    d.world.engine.digest(),
+                    engine_digest,
+                    "{what}: canonical engine digest moved with placement"
+                );
+            }
+        }
+    }
+
+    /// Scenario-level pins on the paper workloads (reduced sizes):
+    /// `(comm-done ns, nested events)` for the fig1 message-rate run,
+    /// finish-time ns for the fig8 window-8 latency run, and `(total ns,
+    /// nested events)` for the 4-locality octotiger run — identical at
+    /// every shard count under both executors, and identical to the
+    /// legacy single-heap runner computed in the same process.
+    #[test]
+    fn scenario_results_are_placement_invariant() {
+        use hpx_lci_repro::octotiger_mini::{run_octotiger, run_octotiger_sharded, OctoParams};
+
+        // fig1 message rate, reduced.
+        let mut mp = bench::MsgRateParams::small("lci_psr_cq_pin_i".parse().unwrap());
+        mp.total_msgs = 2_000;
+        mp.batch = 50;
+        mp.cores = 8;
+        let legacy = bench::run_msgrate(&mp);
+        assert!(legacy.completed);
+        for &(shards, mode) in PLACEMENTS {
+            let r = bench::run_msgrate_sharded(&mp, shards, Some(mode));
+            assert!(r.completed, "fig1 shards={shards} {mode:?}");
+            assert_eq!(r.comm_done, legacy.comm_done, "fig1 shards={shards} {mode:?}");
+            assert_eq!(r.injection_done, legacy.injection_done);
+        }
+
+        // fig8 latency, window 8, reduced.
+        let mut lp = bench::LatencyParams::new("lci_psr_cq_pin_i".parse().unwrap(), 8);
+        lp.window = 8;
+        lp.steps = 50;
+        lp.cores = 8;
+        let legacy = bench::run_latency(&lp);
+        assert!(legacy.completed);
+        for &(shards, mode) in PLACEMENTS {
+            let r = bench::run_latency_sharded(&lp, shards, Some(mode));
+            assert!(r.completed, "fig8 shards={shards} {mode:?}");
+            assert_eq!(r.total, legacy.total, "fig8 w8 shards={shards} {mode:?}");
+        }
+
+        // Octotiger on 4 localities — here shard counts above 2 engage.
+        let mut op = OctoParams::expanse("lci_psr_cq_pin_i".parse().unwrap(), 4);
+        op.level = 4;
+        op.steps = 2;
+        op.cores = 6;
+        let legacy = run_octotiger(&op);
+        assert!(legacy.completed && legacy.mass_ok);
+        // 8 shards exercises the clamp (4 localities -> 4 lanes).
+        for &(shards, mode) in &[
+            (1, RunMode::Sequential),
+            (2, RunMode::Threaded),
+            (4, RunMode::Sequential),
+            (4, RunMode::Threaded),
+            (8, RunMode::Threaded),
+        ] {
+            let r = run_octotiger_sharded(&op, shards, Some(mode));
+            assert!(r.completed && r.mass_ok, "octo shards={shards} {mode:?}");
+            assert_eq!(r.total, legacy.total, "octo L4 shards={shards} {mode:?}");
+        }
+    }
+
+    /// Telemetry purity under threaded execution: with a collector on,
+    /// the threaded 2-shard run reproduces the pinned timeline
+    /// bit-for-bit while the merged per-lane collectors carry the
+    /// complete observation — one flow per parcel, all delivered.
+    #[test]
+    fn telemetry_stays_pure_under_threaded_sharding() {
+        for &(name, end_ns, executed, _) in SHARDED_PINS {
+            let tel = hpx_lci_repro::telemetry::enable();
+            let mut cfg = WorldConfig::two_nodes(name.parse().unwrap(), 8);
+            cfg.seed = 11;
+            let d = send_all_sharded(cfg, payloads(), 2, RunMode::Threaded);
+            hpx_lci_repro::telemetry::disable();
+            assert_eq!(d.delivered, 40, "{name}: lost deliveries under telemetry");
+            assert_eq!(
+                d.world.now().as_nanos(),
+                end_ns,
+                "{name}: telemetry moved the threaded federated end time"
+            );
+            assert_eq!(
+                fnv_u64s(&d.checksums),
+                golden_delivery_digest(name),
+                "{name}: telemetry changed threaded federated delivery order"
+            );
+            assert_eq!(
+                d.world.events_executed(),
+                executed,
+                "{name}: telemetry changed the threaded federated event count"
+            );
+            // The merged observation must be complete: one flow per
+            // parcel with the end-to-end stage chain, exactly as the
+            // single-heap collector records it.
+            assert_eq!(tel.flow_count(), 40, "{name}: expected one flow per parcel");
+            let b = tel.breakdown(name);
+            assert_eq!(b.delivered, 40, "{name}: flows lost before delivery");
+            assert!(b.total.summary.count > 0, "{name}: no end-to-end latencies recorded");
+        }
+    }
+
+    /// The merged telemetry of a federated run equals the single-heap
+    /// collector's on the same workload: same flow population, same
+    /// delivered count, same parcel-latency histogram — lane merge is
+    /// exact, not approximate.
+    #[test]
+    fn merged_lane_telemetry_equals_single_heap_collector() {
+        let name = "lci_psr_cq_pin_i";
+        let run_legacy = || {
+            let tel = hpx_lci_repro::telemetry::enable();
+            let mut cfg = WorldConfig::two_nodes(name.parse().unwrap(), 8);
+            cfg.seed = 11;
+            let d = send_all(cfg, payloads());
+            drop(d);
+            hpx_lci_repro::telemetry::disable();
+            tel
+        };
+        let run_sharded = |shards, mode| {
+            let tel = hpx_lci_repro::telemetry::enable();
+            let mut cfg = WorldConfig::two_nodes(name.parse().unwrap(), 8);
+            cfg.seed = 11;
+            let d = send_all_sharded(cfg, payloads(), shards, mode);
+            drop(d);
+            hpx_lci_repro::telemetry::disable();
+            tel
+        };
+        let legacy = run_legacy();
+        let lh = legacy
+            .with_metrics(|m| m.hist("amt.msg_bytes").cloned())
+            .expect("legacy run records message sizes");
+        for &(shards, mode) in PLACEMENTS {
+            let tel = run_sharded(shards, mode);
+            let what = format!("shards={shards} {mode:?}");
+            assert_eq!(tel.flow_count(), legacy.flow_count(), "{what}: flow population moved");
+            let sh = tel
+                .with_metrics(|m| m.hist("amt.msg_bytes").cloned())
+                .expect("sharded run records message sizes");
+            assert_eq!(sh, lh, "{what}: merged message-size histogram diverged");
+            let b = tel.breakdown(name);
+            assert_eq!(b.delivered, legacy.breakdown(name).delivered, "{what}: delivered moved");
+        }
+    }
+}
+
 fn fnv_bytes(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     for &b in bytes {
@@ -431,6 +663,9 @@ fn run_record_capture_is_pure_and_pinned() {
         config: "lci_psr_cq_pin_i".into(),
         params: vec![("total_msgs".into(), "1000".into())],
         knobs: vec![],
+        // Legacy single-engine run: both engine fields stay None so the
+        // serialized record is byte-identical to pre-sharding baselines.
+        ..RunMeta::default()
     };
     let run = || {
         let tel = hpx_lci_repro::telemetry::enable();
